@@ -1,0 +1,35 @@
+// Command experiments regenerates every experiment in EXPERIMENTS.md:
+// the Figure 1 aggregate catalog and each of the paper's worked examples
+// and semantic comparisons (Ross & Sagiv, PODS 1992), with timings of the
+// deductive engine against the direct algorithmic baselines.
+//
+// Usage:
+//
+//	experiments [-quick] [-run E3]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "smaller problem sizes")
+	runSel := flag.String("run", "", "run only the experiment with this id (e.g. E3)")
+	list := flag.Bool("list", false, "list experiment ids and exit")
+	flag.Parse()
+
+	if *list {
+		for _, e := range experiments.List() {
+			fmt.Printf("%-4s %s\n", e[0], e[1])
+		}
+		return
+	}
+	if err := experiments.Run(os.Stdout, experiments.Config{Quick: *quick, Only: *runSel}); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}

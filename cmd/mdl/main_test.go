@@ -1,0 +1,188 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeProgram(t *testing.T, name, src string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+const shortestPath = `
+.cost arc/3 : minreal.
+.cost path/4 : minreal.
+.cost s/3 : minreal.
+.ic :- arc(direct, Z, C).
+path(X, direct, Y, C) :- arc(X, Y, C).
+path(X, Z, Y, C)      :- s(X, Z, C1), arc(Z, Y, C2), C = C1 + C2.
+s(X, Y, C)            :- C ?= min D : path(X, Z, Y, D).
+arc(a, b, 1).
+arc(b, c, 2).
+`
+
+func runMdl(t *testing.T, args ...string) (string, string, int) {
+	t.Helper()
+	var out, errb strings.Builder
+	code := run(args, &out, &errb)
+	return out.String(), errb.String(), code
+}
+
+func TestSolveAndPrint(t *testing.T) {
+	f := writeProgram(t, "sp.mdl", shortestPath)
+	out, errOut, code := runMdl(t, f)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errOut)
+	}
+	if !strings.Contains(out, "s(a, c, 3).") {
+		t.Fatalf("missing s(a,c,3) in output:\n%s", out)
+	}
+}
+
+func TestQueryFlag(t *testing.T) {
+	f := writeProgram(t, "sp.mdl", shortestPath)
+	out, _, code := runMdl(t, "-query", "s", f)
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	if strings.Contains(out, "path(") {
+		t.Fatalf("-query s must not print path atoms:\n%s", out)
+	}
+	if !strings.Contains(out, "s(a, b, 1).") {
+		t.Fatalf("missing s tuple:\n%s", out)
+	}
+}
+
+func TestCheckFlag(t *testing.T) {
+	f := writeProgram(t, "sp.mdl", shortestPath)
+	out, _, code := runMdl(t, "-check", f)
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	if !strings.Contains(out, "admissible (monotonic):      true") {
+		t.Fatalf("check output:\n%s", out)
+	}
+	bad := writeProgram(t, "bad.mdl", `
+p(b).
+q(b).
+p(a) :- N ?= count : q(X), N = 1.
+q(a) :- N ?= count : p(X), N = 1.
+`)
+	out, _, code = runMdl(t, "-check", bad)
+	if code != 1 {
+		t.Fatalf("non-admissible check must exit 1, got %d\n%s", code, out)
+	}
+	if !strings.Contains(out, "reason:") {
+		t.Fatalf("missing reason:\n%s", out)
+	}
+}
+
+func TestStatsFlag(t *testing.T) {
+	f := writeProgram(t, "sp.mdl", shortestPath)
+	_, errOut, code := runMdl(t, "-stats", f)
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	if !strings.Contains(errOut, "rounds=") {
+		t.Fatalf("stats missing: %s", errOut)
+	}
+}
+
+func TestEpsilonFlag(t *testing.T) {
+	f := writeProgram(t, "halfsum.mdl", `
+.cost p/2 : sumreal.
+p(b, 1).
+p(a, C) :- C ?= halfsum D : p(X, D).
+`)
+	out, _, code := runMdl(t, "-eps", "1e-9", "-query", "p", f)
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	if !strings.Contains(out, "p(a, 0.99999999") {
+		t.Fatalf("halfsum output:\n%s", out)
+	}
+}
+
+func TestWFSFallbackFlag(t *testing.T) {
+	f := writeProgram(t, "game.mdl", `
+win(X) :- move(X, Y), not win(Y).
+move(a, b).
+`)
+	// Rejected without the flag, solved with it.
+	_, _, code := runMdl(t, f)
+	if code != 1 {
+		t.Fatalf("negation recursion must fail without -wfs-fallback, got %d", code)
+	}
+	out, _, code := runMdl(t, "-wfs-fallback", f)
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	if !strings.Contains(out, "win(a).") || strings.Contains(out, "win(b).") {
+		t.Fatalf("game output:\n%s", out)
+	}
+}
+
+func TestMultipleFilesAndErrors(t *testing.T) {
+	rules := writeProgram(t, "rules.mdl", `
+.cost arc/3 : minreal.
+.cost path/4 : minreal.
+.cost s/3 : minreal.
+.ic :- arc(direct, Z, C).
+path(X, direct, Y, C) :- arc(X, Y, C).
+path(X, Z, Y, C)      :- s(X, Z, C1), arc(Z, Y, C2), C = C1 + C2.
+s(X, Y, C)            :- C ?= min D : path(X, Z, Y, D).
+`)
+	facts := writeProgram(t, "facts.mdl", "arc(x, y, 4).\n")
+	out, _, code := runMdl(t, "-query", "s", rules, facts)
+	if code != 0 || !strings.Contains(out, "s(x, y, 4).") {
+		t.Fatalf("multi-file run: exit %d\n%s", code, out)
+	}
+	// Missing file.
+	if _, _, code := runMdl(t, filepath.Join(t.TempDir(), "nope.mdl")); code != 1 {
+		t.Fatalf("missing file must exit 1, got %d", code)
+	}
+	// No arguments.
+	if _, _, code := runMdl(t); code != 2 {
+		t.Fatalf("no args must exit 2, got %d", code)
+	}
+	// Parse error.
+	broken := writeProgram(t, "broken.mdl", "p(X :- q(X).")
+	if _, errOut, code := runMdl(t, broken); code != 1 || !strings.Contains(errOut, "mdl:") {
+		t.Fatalf("parse error must exit 1 with message, got %d: %s", code, errOut)
+	}
+}
+
+func TestExplainFlag(t *testing.T) {
+	f := writeProgram(t, "sp.mdl", shortestPath)
+	out, _, code := runMdl(t, "-explain", "s(a, c)", f)
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	for _, want := range []string{"s(a, c, 3)", "min", "[fact]"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("explain output missing %q:\n%s", want, out)
+		}
+	}
+	if _, _, code := runMdl(t, "-explain", "s(a, c", f); code != 1 {
+		t.Fatal("malformed atom must exit 1")
+	}
+}
+
+func TestNaiveFlag(t *testing.T) {
+	f := writeProgram(t, "sp.mdl", shortestPath)
+	outN, _, code := runMdl(t, "-naive", f)
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	outS, _, _ := runMdl(t, f)
+	if outN != outS {
+		t.Fatalf("strategies disagree:\n%s\nvs\n%s", outN, outS)
+	}
+}

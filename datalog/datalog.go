@@ -1,0 +1,356 @@
+// Package datalog is the public API of the library: a deductive-database
+// engine implementing the monotonic aggregation semantics of Ross &
+// Sagiv, "Monotonic Aggregation in Deductive Databases" (PODS 1992).
+//
+// Programs are written in a Datalog dialect with aggregate subgoals over
+// complete-lattice cost domains:
+//
+//	src := `
+//	.cost arc/3 : minreal.
+//	.cost path/4 : minreal.
+//	.cost s/3 : minreal.
+//	.ic :- arc(direct, Z, C).
+//	path(X, direct, Y, C) :- arc(X, Y, C).
+//	path(X, Z, Y, C)      :- s(X, Z, C1), arc(Z, Y, C2), C = C1 + C2.
+//	s(X, Y, C)            :- C ?= min D : path(X, Z, Y, D).
+//	`
+//	p, err := datalog.Load(src, datalog.Options{})
+//	m, _, err := p.Solve(
+//	    datalog.NewFact("arc", datalog.Sym("a"), datalog.Sym("b"), datalog.Num(1)),
+//	    datalog.NewFact("arc", datalog.Sym("b"), datalog.Sym("c"), datalog.Num(2)),
+//	)
+//	cost, ok := m.Cost("s", datalog.Sym("a"), datalog.Sym("c")) // 3
+//
+// Load statically verifies the program: range restriction (safety),
+// conflict-freedom (cost consistency) and admissibility (monotonicity),
+// so that Solve is guaranteed to compute the unique minimal model.
+package datalog
+
+import (
+	"fmt"
+
+	"repro/internal/ast"
+	"repro/internal/core"
+	"repro/internal/lattice"
+	"repro/internal/parser"
+	"repro/internal/relation"
+	"repro/internal/val"
+)
+
+// Strategy selects the fixpoint algorithm.
+type Strategy = core.Strategy
+
+// The fixpoint strategies: SemiNaive (default) refires only rule
+// instances touching changed atoms; Naive recomputes T_P per round.
+const (
+	SemiNaive = core.SemiNaive
+	Naive     = core.Naive
+)
+
+// Options configures evaluation; the zero value is a good default.
+type Options struct {
+	Strategy Strategy
+	// MaxRounds bounds fixpoint iteration per program component
+	// (default 1<<20).
+	MaxRounds int
+	// Epsilon treats numeric cost improvements below it as convergence;
+	// required for programs whose fixpoint lies at ω (Example 5.1).
+	Epsilon float64
+	// SkipChecks disables static verification. The minimal model is then
+	// no longer guaranteed to exist or be unique; intended for studying
+	// non-monotonic programs.
+	SkipChecks bool
+	// WFSFallback enables the full iterated construction of §6.3 of the
+	// paper: components that recurse through negation (and are therefore
+	// not admissible) are evaluated under the well-founded semantics;
+	// their well-founded model must be two-valued, and feeds the
+	// monotonic components above.
+	WFSFallback bool
+	// Trace records provenance for every derived tuple (the rule and
+	// ground body of its last improvement), queryable with
+	// Model.Explain/ExplainTree. Costs extra memory per tuple.
+	Trace bool
+}
+
+// Stats reports evaluation work.
+type Stats = core.Stats
+
+// Program is a loaded, checked, compiled program.
+type Program struct {
+	prog *ast.Program
+	en   *core.Engine
+}
+
+// Load parses, checks and compiles a program.
+func Load(src string, opts Options) (*Program, error) {
+	prog, err := parser.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	en, err := core.New(prog, core.Options{
+		Strategy:    opts.Strategy,
+		MaxRounds:   opts.MaxRounds,
+		Epsilon:     opts.Epsilon,
+		SkipChecks:  opts.SkipChecks,
+		WFSFallback: opts.WFSFallback,
+		Trace:       opts.Trace,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Program{prog: prog, en: en}, nil
+}
+
+// Classification reports where the program sits on the paper's §5 ladder.
+type Classification struct {
+	// Admissible programs (Definition 4.5) are monotonic: the least
+	// fixpoint exists and Solve computes it. Reason is non-empty when
+	// the check fails.
+	Admissible bool
+	Reason     string
+	// RMonotonic: the restricted monotonicity of Mumick et al. (§5.2).
+	RMonotonic bool
+	// AggregateStratified: no recursion through aggregation (§5.1).
+	AggregateStratified bool
+	// NegationStratified: no recursion through negation.
+	NegationStratified bool
+}
+
+// Classify returns the static classification.
+func (p *Program) Classify() Classification {
+	rep := p.en.Report
+	c := Classification{
+		Admissible:          rep.Admissible == nil,
+		RMonotonic:          rep.RMonotonic == nil,
+		AggregateStratified: rep.AggregateStratified,
+		NegationStratified:  rep.NegationStratified,
+	}
+	if rep.Admissible != nil {
+		c.Reason = rep.Admissible.Error()
+	}
+	return c
+}
+
+// Value is a constant of the rule language.
+type Value struct{ v val.T }
+
+// Sym returns a symbol constant.
+func Sym(s string) Value { return Value{val.Symbol(s)} }
+
+// Num returns a numeric constant.
+func Num(n float64) Value { return Value{val.Number(n)} }
+
+// Bool returns a boolean constant (written 0/1 in rule text).
+func Bool(b bool) Value { return Value{val.Boolean(b)} }
+
+// Str returns a string constant.
+func Str(s string) Value { return Value{val.String(s)} }
+
+// SetOf returns a set constant.
+func SetOf(elems ...Value) Value {
+	raw := make([]val.T, len(elems))
+	for i, e := range elems {
+		raw[i] = e.v
+	}
+	return Value{val.T{Kind: val.SetKind, Set: val.NewSet(raw)}}
+}
+
+// String renders the value in rule-language syntax.
+func (v Value) String() string { return v.v.String() }
+
+// Float returns the numeric value of a Num (or NaN-free zero otherwise).
+func (v Value) Float() (float64, bool) {
+	if v.v.Kind == val.Num {
+		return v.v.N, true
+	}
+	return 0, false
+}
+
+// Truth returns the boolean value of a Bool.
+func (v Value) Truth() (bool, bool) {
+	if v.v.Kind == val.Bool {
+		return v.v.B, true
+	}
+	return false, false
+}
+
+// Equal reports value equality.
+func (v Value) Equal(o Value) bool { return val.Equal(v.v, o.v) }
+
+// Fact is a ground input fact. For a cost predicate the final value is
+// the cost.
+type Fact struct {
+	Pred string
+	Args []Value
+}
+
+// NewFact builds a fact.
+func NewFact(pred string, args ...Value) Fact {
+	return Fact{Pred: pred, Args: args}
+}
+
+// Model is a computed minimal model.
+type Model struct {
+	db      *relation.DB
+	schemas ast.Schemas
+	en      *core.Engine
+}
+
+// Solve evaluates the program over the given extensional facts and
+// returns its minimal model (Corollary 3.5).
+func (p *Program) Solve(facts ...Fact) (*Model, Stats, error) {
+	edb := relation.NewDB(p.en.Schemas)
+	for _, f := range facts {
+		if err := addFact(edb, p.en.Schemas, f); err != nil {
+			return nil, Stats{}, err
+		}
+	}
+	db, stats, err := p.en.Solve(edb)
+	if err != nil {
+		return nil, stats, err
+	}
+	return &Model{db: db, schemas: p.en.Schemas, en: p.en}, stats, nil
+}
+
+func addFact(edb *relation.DB, schemas ast.Schemas, f Fact) error {
+	key := ast.MakePredKey(f.Pred, len(f.Args))
+	pi := schemas.Info(key)
+	if pi != nil && pi.HasCost {
+		if len(f.Args) == 0 {
+			return fmt.Errorf("datalog: fact %s lacks its cost argument", f.Pred)
+		}
+		cost, err := pi.L.Parse(f.Args[len(f.Args)-1].v)
+		if err != nil {
+			return fmt.Errorf("datalog: fact %s: %v", f.Pred, err)
+		}
+		args := make([]val.T, len(f.Args)-1)
+		for i := range args {
+			args[i] = f.Args[i].v
+		}
+		edb.Rel(key).InsertJoin(args, cost)
+		return nil
+	}
+	args := make([]val.T, len(f.Args))
+	for i, a := range f.Args {
+		args[i] = a.v
+	}
+	edb.Rel(key).InsertJoin(args, lattice.Elem{})
+	return nil
+}
+
+// SolveMore extends a previously computed model with additional
+// extensional facts, reusing the old model instead of re-solving from
+// scratch — sound because monotonic programs only ever grow under fact
+// insertion. It fails if any added predicate is used non-monotonically
+// (under negation, or inside a pseudo-monotonic aggregate) or is defined
+// by rules. The original model is unchanged.
+func (p *Program) SolveMore(m *Model, facts ...Fact) (*Model, Stats, error) {
+	added := relation.NewDB(p.en.Schemas)
+	for _, f := range facts {
+		if err := addFact(added, p.en.Schemas, f); err != nil {
+			return nil, Stats{}, err
+		}
+	}
+	db, stats, err := p.en.SolveMore(m.db, added)
+	if err != nil {
+		return nil, stats, err
+	}
+	return &Model{db: db, schemas: p.en.Schemas, en: p.en}, stats, nil
+}
+
+// Has reports whether the ground atom (without cost) is in the model.
+func (m *Model) Has(pred string, args ...Value) bool {
+	_, ok := m.lookup(pred, args)
+	return ok
+}
+
+// Cost returns the cost value of the tuple identified by the non-cost
+// arguments of a cost predicate.
+func (m *Model) Cost(pred string, args ...Value) (Value, bool) {
+	row, ok := m.lookup(pred, args)
+	if !ok || !row.HasCost {
+		return Value{}, false
+	}
+	return Value{row.Cost}, true
+}
+
+func (m *Model) lookup(pred string, args []Value) (relation.Row, bool) {
+	raw := make([]val.T, len(args))
+	for i, a := range args {
+		raw[i] = a.v
+	}
+	for _, k := range m.db.Preds() {
+		if k.Name() != pred {
+			continue
+		}
+		pi := m.schemas.Info(k)
+		if pi != nil && pi.NonCost() == len(args) {
+			return m.db.Rel(k).GetOrDefault(raw)
+		}
+	}
+	return relation.Row{}, false
+}
+
+// Facts returns every tuple of the predicate (cost appended last for cost
+// predicates), in deterministic order.
+func (m *Model) Facts(pred string) [][]Value {
+	var out [][]Value
+	for _, k := range m.db.Preds() {
+		if k.Name() != pred {
+			continue
+		}
+		for _, row := range m.db.Rel(k).Rows() {
+			vs := make([]Value, 0, len(row.Args)+1)
+			for _, a := range row.Args {
+				vs = append(vs, Value{a})
+			}
+			if row.HasCost {
+				vs = append(vs, Value{row.Cost})
+			}
+			out = append(out, vs)
+		}
+	}
+	return out
+}
+
+// Len returns the number of stored tuples of the predicate.
+func (m *Model) Len(pred string) int {
+	n := 0
+	for _, k := range m.db.Preds() {
+		if k.Name() == pred {
+			n += m.db.Rel(k).Len()
+		}
+	}
+	return n
+}
+
+// String renders the whole model as sorted ground facts.
+func (m *Model) String() string { return m.db.String() }
+
+// Explain returns the rule and ground body that last derived the tuple
+// identified by the non-cost arguments (requires Options.Trace).
+func (m *Model) Explain(pred string, args ...Value) (rule string, supports []string, ok bool) {
+	raw := make([]val.T, len(args))
+	for i, a := range args {
+		raw[i] = a.v
+	}
+	d, ok := m.en.Explain(pred, raw)
+	if !ok {
+		return "", nil, false
+	}
+	out := make([]string, len(d.Supports))
+	for i, s := range d.Supports {
+		out[i] = s.String()
+	}
+	return d.Rule, out, true
+}
+
+// ExplainTree renders a derivation tree for the tuple down to the given
+// depth (requires Options.Trace).
+func (m *Model) ExplainTree(pred string, depth int, args ...Value) string {
+	raw := make([]val.T, len(args))
+	for i, a := range args {
+		raw[i] = a.v
+	}
+	return m.en.ExplainTree(m.db, pred, raw, depth)
+}

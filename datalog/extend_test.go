@@ -1,0 +1,122 @@
+package datalog
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+// registerTestExtensions runs once: the aggregate/lattice registries are
+// global.
+var registerTestExtensions = sync.OnceFunc(func() {
+	RegisterSetUniverse("colors", Sym("red"), Sym("green"), Sym("blue"))
+	RegisterIntersection("commoncolors", Sym("red"), Sym("green"), Sym("blue"))
+	RegisterConnectsProperty("srcdst", "src", "dst")
+	RegisterPathLengthProperty("long3", 3)
+	RegisterGraphProperty("has_any_edge", func(edges []Value) bool {
+		return len(edges) > 0
+	})
+})
+
+func TestRegisterSetUniverseAndIntersection(t *testing.T) {
+	registerTestExtensions()
+	// The aggregate's domain lattice must match the aggregated cost
+	// declaration (well-typedness, §4.2) — both use the registered
+	// commoncolors_dom; the plain "colors" union lattice is exercised
+	// separately below.
+	src := `
+.cost likes/2 : commoncolors_dom.
+.cost consensus/1 : commoncolors_dom.
+likes(a, {red, green}).
+likes(b, {red, blue}).
+consensus(S) :- S ?= commoncolors C : likes(X, C).
+`
+	p, err := Load(src, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, _, err := p.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, ok := m.Cost("consensus")
+	if !ok || s.String() != "{red}" {
+		t.Fatalf("consensus = %v (%v), want {red}", s, ok)
+	}
+	// The bounded union lattice registered by RegisterSetUniverse.
+	p2, err := Load(`
+.cost palette/2 : colors.
+palette(ui, {red, blue}).
+`, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, _, err := p2.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := m2.Cost("palette", Sym("ui")); !ok || v.String() != "{blue, red}" {
+		t.Fatalf("palette = %v (%v)", v, ok)
+	}
+	// Values outside the declared universe are rejected.
+	if _, err := Load(`
+.cost palette/2 : colors.
+palette(ui, {mauve}).
+`, Options{}); err == nil {
+		t.Fatal("out-of-universe set must be rejected")
+	}
+}
+
+func TestRegisterGraphProperties(t *testing.T) {
+	registerTestExtensions()
+	src := `
+.cost seg/2 : setunion.
+.cost conn/1 : boolor.
+.cost long/1 : boolor.
+.cost any/1 : boolor.
+seg(s1, {"src->m", "m->n"}).
+seg(s2, {"n->dst"}).
+conn(B) :- B = srcdst E : seg(S, E).
+long(B) :- B = long3 E : seg(S, E).
+any(B)  :- B = has_any_edge E : seg(S, E).
+`
+	p, err := Load(src, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, _, err := p.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for pred, want := range map[string]bool{"conn": true, "long": true, "any": true} {
+		v, ok := m.Cost(pred)
+		b, _ := v.Truth()
+		if !ok || b != want {
+			t.Errorf("%s = %v (%v), want %v", pred, v, ok, want)
+		}
+	}
+}
+
+func TestEdgeHelpers(t *testing.T) {
+	e := Edge("a", "b")
+	u, v, ok := EdgeEnds(e)
+	if !ok || u != "a" || v != "b" {
+		t.Fatalf("EdgeEnds = %q %q %v", u, v, ok)
+	}
+	if _, _, ok := EdgeEnds(Sym("nodashes")); ok {
+		t.Fatal("non-edge must not split")
+	}
+	if _, _, ok := EdgeEnds(Num(3)); ok {
+		t.Fatal("numbers are not edges")
+	}
+}
+
+func TestMustLoadPanics(t *testing.T) {
+	defer func() {
+		r := recover()
+		if r == nil || !strings.Contains(r.(string), "datalog:") {
+			t.Fatalf("recover = %v", r)
+		}
+	}()
+	MustLoad("p(X :- broken.", Options{})
+}

@@ -1,0 +1,10 @@
+// Package repro is a reproduction of Ross & Sagiv, "Monotonic Aggregation
+// in Deductive Databases" (PODS 1992): a deductive-database engine whose
+// semantics for recursion through aggregation is the minimal model over
+// complete lattices of cost values.
+//
+// The public API lives in repro/datalog; see README.md for the layout,
+// DESIGN.md for the system inventory, and EXPERIMENTS.md for the
+// reproduced results. The benchmarks in bench_test.go regenerate the
+// performance side of every experiment.
+package repro

@@ -1,0 +1,78 @@
+// Company control (Ross & Sagiv, PODS 1992, Example 2.7): company X
+// controls Y when the shares X owns in Y, together with the shares owned
+// by companies X controls, exceed 50%. The definition is recursive
+// *through* the sum aggregate — the motivating example the paper shares
+// with Mumick et al. and Van Gelder.
+//
+// Run with:
+//
+//	go run ./examples/companycontrol
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/datalog"
+)
+
+const program = `
+.cost s/3  : sumreal.   % s(X, Y, N): X directly owns fraction N of Y
+.cost cv/4 : sumreal.   % cv(X, Z, Y, N): X holds N of Y through Z
+.cost m/3  : sumreal.   % m(X, Y, N): X holds N of Y in total
+
+cv(X, X, Y, N) :- s(X, Y, N).
+cv(X, Z, Y, N) :- c(X, Z), s(Z, Y, N).
+m(X, Y, N)     :- N ?= sum M : cv(X, Z, Y, M).
+c(X, Y)        :- m(X, Y, N), N > 0.5.
+`
+
+func solveAndPrint(p *datalog.Program, title string, facts []datalog.Fact) {
+	fmt.Printf("— %s —\n", title)
+	m, _, err := p.Solve(facts...)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, row := range m.Facts("c") {
+		n, _ := m.Cost("m", row[0], row[1])
+		fmt.Printf("  %s controls %s (holds %s)\n", row[0], row[1], n)
+	}
+	if m.Len("c") == 0 {
+		fmt.Println("  nobody controls anybody")
+	}
+	fmt.Println()
+}
+
+func main() {
+	p, err := datalog.Load(program, datalog.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	share := func(x, y string, n float64) datalog.Fact {
+		return datalog.NewFact("s", datalog.Sym(x), datalog.Sym(y), datalog.Num(n))
+	}
+
+	// A holding pyramid: acme controls beta outright; acme's and beta's
+	// stakes in gamma combine to a controlling position, which in turn
+	// unlocks delta.
+	solveAndPrint(p, "holding pyramid", []datalog.Fact{
+		share("acme", "beta", 0.60),
+		share("acme", "gamma", 0.30),
+		share("beta", "gamma", 0.25),
+		share("gamma", "delta", 0.40),
+		share("acme", "delta", 0.15),
+	})
+
+	// The §5.6 discriminating database: b and c own 60% of each other.
+	// In the minimal model c(a,b) and c(a,c) are *false* (a's 30% stakes
+	// never combine with anything a controls); Van Gelder's well-founded
+	// translation would leave them undefined — the paper's point about
+	// semantics that give "too little information".
+	solveAndPrint(p, "mutual ownership (§5.6)", []datalog.Fact{
+		share("a", "b", 0.30),
+		share("a", "c", 0.30),
+		share("b", "c", 0.60),
+		share("c", "b", 0.60),
+	})
+}

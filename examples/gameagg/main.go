@@ -1,0 +1,69 @@
+// Aggregation over negation (Ross & Sagiv, PODS 1992, §6.3): the
+// iterated construction. The bottom component is the classic win-move
+// game — recursion *through negation*, outside the monotonic class — and
+// is evaluated under the (two-valued) well-founded semantics; the top
+// component then aggregates over it monotonically, counting each
+// player's winning positions. No single prior semantics handles both
+// layers; the paper's iterated minimal models do.
+//
+// Run with:
+//
+//	go run ./examples/gameagg
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/datalog"
+)
+
+const program = `
+.cost score/2 : countnat.
+
+% Bottom component: positions are won when some move reaches a lost
+% position. Not admissible (negation through recursion) - evaluated by
+% the well-founded fallback, which must be two-valued (it is: the board
+% below is acyclic).
+win(X) :- move(X, Y), not win(Y).
+
+% Top component: monotonic aggregation over the solved game.
+score(P, N)  :- player(P), N = count : [owns(P, X), winpos(X)].
+winpos(X)    :- win(X).
+`
+
+func main() {
+	p, err := datalog.Load(program, datalog.Options{WFSFallback: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	move := func(x, y string) datalog.Fact {
+		return datalog.NewFact("move", datalog.Sym(x), datalog.Sym(y))
+	}
+	owns := func(p, x string) datalog.Fact {
+		return datalog.NewFact("owns", datalog.Sym(p), datalog.Sym(x))
+	}
+
+	// An acyclic board: p5 is terminal (lost), so p4 wins, p3 loses, ...
+	m, _, err := p.Solve(
+		move("p1", "p2"), move("p2", "p3"), move("p3", "p4"),
+		move("p4", "p5"), move("p1", "p4"), move("p2", "p5"),
+		owns("alice", "p1"), owns("alice", "p3"), owns("alice", "p5"),
+		owns("bob", "p2"), owns("bob", "p4"),
+		datalog.NewFact("player", datalog.Sym("alice")),
+		datalog.NewFact("player", datalog.Sym("bob")),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("winning positions:")
+	for _, row := range m.Facts("win") {
+		fmt.Printf("  win(%s)\n", row[0])
+	}
+	fmt.Println("\nwinning positions held per player:")
+	for _, row := range m.Facts("score") {
+		fmt.Printf("  %s: %s\n", row[0], row[1])
+	}
+}

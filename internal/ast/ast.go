@@ -1,0 +1,373 @@
+// Package ast defines the abstract syntax of the rule language of Ross &
+// Sagiv (PODS 1992): rules over atoms with optional cost arguments,
+// aggregate subgoals in both the total "=" and restricted "?=" (the
+// paper's "=r") forms, built-in arithmetic subgoals, negation, integrity
+// constraints (Definition 2.9) and the declarations of §2.3 (cost
+// predicates, default values).
+package ast
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/val"
+)
+
+// Term is either a variable or a constant.
+type Term interface {
+	isTerm()
+	String() string
+}
+
+// Var is a variable (written with a leading upper-case letter or '_').
+type Var string
+
+func (Var) isTerm()          {}
+func (v Var) String() string { return string(v) }
+
+// Const is a constant term wrapping a runtime value.
+type Const struct{ V val.T }
+
+func (Const) isTerm()          {}
+func (c Const) String() string { return c.V.String() }
+
+// Sym, Num and BoolConst are convenience constructors.
+func Sym(s string) Const     { return Const{val.Symbol(s)} }
+func Num(n float64) Const    { return Const{val.Number(n)} }
+func BoolConst(b bool) Const { return Const{val.Boolean(b)} }
+
+// PredKey identifies a predicate by name and arity, e.g. "path/4".
+type PredKey string
+
+// MakePredKey builds the key for name with the given arity.
+func MakePredKey(name string, arity int) PredKey {
+	return PredKey(fmt.Sprintf("%s/%d", name, arity))
+}
+
+// Name returns the predicate name portion of the key.
+func (k PredKey) Name() string {
+	s := string(k)
+	if i := strings.LastIndexByte(s, '/'); i >= 0 {
+		return s[:i]
+	}
+	return s
+}
+
+// Atom is a (possibly non-ground) atomic formula.
+type Atom struct {
+	Pred string
+	Args []Term
+}
+
+// Key returns the predicate key of the atom.
+func (a *Atom) Key() PredKey { return MakePredKey(a.Pred, len(a.Args)) }
+
+// IsGround reports whether the atom contains no variables.
+func (a *Atom) IsGround() bool {
+	for _, t := range a.Args {
+		if _, isVar := t.(Var); isVar {
+			return false
+		}
+	}
+	return true
+}
+
+// Vars appends the variables of the atom to dst, in argument order with
+// duplicates retained.
+func (a *Atom) Vars(dst []Var) []Var {
+	for _, t := range a.Args {
+		if v, ok := t.(Var); ok {
+			dst = append(dst, v)
+		}
+	}
+	return dst
+}
+
+func (a *Atom) String() string {
+	if len(a.Args) == 0 {
+		return a.Pred
+	}
+	parts := make([]string, len(a.Args))
+	for i, t := range a.Args {
+		parts[i] = t.String()
+	}
+	return a.Pred + "(" + strings.Join(parts, ", ") + ")"
+}
+
+// Subgoal is one conjunct of a rule body.
+type Subgoal interface {
+	isSubgoal()
+	String() string
+	// FreeVars appends every variable occurring in the subgoal
+	// (including local and multiset variables of aggregates).
+	FreeVars(dst []Var) []Var
+}
+
+// Lit is a positive or negative literal.
+type Lit struct {
+	Atom Atom
+	Neg  bool
+}
+
+func (*Lit) isSubgoal() {}
+
+func (l *Lit) FreeVars(dst []Var) []Var { return l.Atom.Vars(dst) }
+
+func (l *Lit) String() string {
+	if l.Neg {
+		return "not " + l.Atom.String()
+	}
+	return l.Atom.String()
+}
+
+// Agg is an aggregate subgoal (Definition 2.4):
+//
+//	C  = F E : [p1(...), ..., pk(...)]   (total form)
+//	C ?= F E : [p1(...), ..., pk(...)]   (restricted form, the paper's =r:
+//	                                      false on the empty multiset)
+//
+// MultisetVar is empty for aggregates applied to implicit boolean cost
+// arguments, as in "N = count : q(X)".
+type Agg struct {
+	Result      Var
+	Restricted  bool
+	Func        string
+	MultisetVar Var // "" when the cost argument is implicit
+	Conj        []Atom
+}
+
+func (*Agg) isSubgoal() {}
+
+func (g *Agg) FreeVars(dst []Var) []Var {
+	dst = append(dst, g.Result)
+	for i := range g.Conj {
+		dst = g.Conj[i].Vars(dst)
+	}
+	return dst
+}
+
+// InnerVars appends the variables occurring inside the aggregation (the
+// conjunction), excluding the multiset variable.
+func (g *Agg) InnerVars(dst []Var) []Var {
+	for i := range g.Conj {
+		for _, t := range g.Conj[i].Args {
+			if v, ok := t.(Var); ok && v != g.MultisetVar {
+				dst = append(dst, v)
+			}
+		}
+	}
+	return dst
+}
+
+func (g *Agg) String() string {
+	eq := "="
+	if g.Restricted {
+		eq = "?="
+	}
+	ms := ""
+	if g.MultisetVar != "" {
+		ms = " " + string(g.MultisetVar)
+	}
+	parts := make([]string, len(g.Conj))
+	for i := range g.Conj {
+		parts[i] = g.Conj[i].String()
+	}
+	body := parts[0]
+	if len(parts) > 1 {
+		body = "[" + strings.Join(parts, ", ") + "]"
+	}
+	return fmt.Sprintf("%s %s %s%s : %s", g.Result, eq, g.Func, ms, body)
+}
+
+// CmpOp is a comparison operator of a built-in subgoal.
+type CmpOp int
+
+// The comparison operators.
+const (
+	OpEq CmpOp = iota
+	OpNe
+	OpLt
+	OpLe
+	OpGt
+	OpGe
+)
+
+func (op CmpOp) String() string {
+	switch op {
+	case OpEq:
+		return "="
+	case OpNe:
+		return "!="
+	case OpLt:
+		return "<"
+	case OpLe:
+		return "<="
+	case OpGt:
+		return ">"
+	case OpGe:
+		return ">="
+	}
+	return "?"
+}
+
+// Builtin is a built-in comparison subgoal over arithmetic expressions,
+// e.g. "C = C1 + C2" or "N > 0.5" (§2.2: built-in predicates are equalities
+// and comparisons involving arithmetic expressions).
+type Builtin struct {
+	Op   CmpOp
+	L, R Expr
+}
+
+func (*Builtin) isSubgoal() {}
+
+func (b *Builtin) FreeVars(dst []Var) []Var {
+	dst = b.L.Vars(dst)
+	return b.R.Vars(dst)
+}
+
+func (b *Builtin) String() string {
+	return fmt.Sprintf("%s %s %s", b.L, b.Op, b.R)
+}
+
+// Rule is "Head :- Body." A fact is a rule with an empty body.
+type Rule struct {
+	Head Atom
+	Body []Subgoal
+}
+
+// IsFact reports whether the rule has an empty body.
+func (r *Rule) IsFact() bool { return len(r.Body) == 0 }
+
+// AllVars returns the distinct variables of the rule in first-occurrence
+// order.
+func (r *Rule) AllVars() []Var {
+	var vs []Var
+	vs = r.Head.Vars(vs)
+	for _, s := range r.Body {
+		vs = s.FreeVars(vs)
+	}
+	seen := map[Var]bool{}
+	out := vs[:0]
+	for _, v := range vs {
+		if !seen[v] {
+			seen[v] = true
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+func (r *Rule) String() string {
+	if r.IsFact() {
+		return r.Head.String() + "."
+	}
+	parts := make([]string, len(r.Body))
+	for i, s := range r.Body {
+		parts[i] = s.String()
+	}
+	return r.Head.String() + " :- " + strings.Join(parts, ", ") + "."
+}
+
+// Constraint is an integrity constraint (Definition 2.9): a headless
+// conjunction guaranteed unsatisfiable by the application.
+type Constraint struct {
+	Body []Subgoal
+}
+
+func (c *Constraint) String() string {
+	parts := make([]string, len(c.Body))
+	for i, s := range c.Body {
+		parts[i] = s.String()
+	}
+	return ":- " + strings.Join(parts, ", ") + "."
+}
+
+// CostDecl declares the cost domain of a cost predicate's final argument:
+// ".cost p/3 : minreal."
+type CostDecl struct {
+	Pred    PredKey
+	Lattice string
+}
+
+// DefaultDecl declares a default-value cost predicate (§2.3.2):
+// ".default t/2 = 0." The value must parse to the lattice bottom.
+type DefaultDecl struct {
+	Pred  PredKey
+	Value val.T
+}
+
+// Program is a parsed program: rules (including facts), declarations and
+// integrity constraints.
+type Program struct {
+	Rules       []*Rule
+	Constraints []*Constraint
+	CostDecls   []CostDecl
+	DefaultDecl []DefaultDecl
+}
+
+// Preds returns the set of predicate keys appearing anywhere in the
+// program, sorted for determinism.
+func (p *Program) Preds() []PredKey {
+	set := map[PredKey]bool{}
+	add := func(a *Atom) { set[a.Key()] = true }
+	walkAtoms(p, add)
+	out := make([]PredKey, 0, len(set))
+	for k := range set {
+		out = append(out, k)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// HeadPreds returns the predicates defined by some rule head (the CDB of
+// the whole program).
+func (p *Program) HeadPreds() map[PredKey]bool {
+	out := map[PredKey]bool{}
+	for _, r := range p.Rules {
+		out[r.Head.Key()] = true
+	}
+	return out
+}
+
+// walkAtoms applies f to every atom of the program.
+func walkAtoms(p *Program, f func(*Atom)) {
+	visitBody := func(body []Subgoal) {
+		for _, s := range body {
+			switch s := s.(type) {
+			case *Lit:
+				f(&s.Atom)
+			case *Agg:
+				for i := range s.Conj {
+					f(&s.Conj[i])
+				}
+			}
+		}
+	}
+	for _, r := range p.Rules {
+		f(&r.Head)
+		visitBody(r.Body)
+	}
+	for _, c := range p.Constraints {
+		visitBody(c.Body)
+	}
+}
+
+func (p *Program) String() string {
+	var b strings.Builder
+	for _, d := range p.CostDecls {
+		fmt.Fprintf(&b, ".cost %s : %s.\n", d.Pred, d.Lattice)
+	}
+	for _, d := range p.DefaultDecl {
+		fmt.Fprintf(&b, ".default %s = %s.\n", d.Pred, d.Value)
+	}
+	for _, c := range p.Constraints {
+		b.WriteString(c.String())
+		b.WriteByte('\n')
+	}
+	for _, r := range p.Rules {
+		b.WriteString(r.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

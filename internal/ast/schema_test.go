@@ -1,0 +1,205 @@
+package ast
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/val"
+)
+
+// buildProgram assembles a small shortest-path program directly from AST
+// constructors (the parser has its own tests; these exercise ast alone).
+func buildShortestPath() *Program {
+	// path(X, direct, Y, C) :- arc(X, Y, C).
+	r1 := &Rule{
+		Head: Atom{Pred: "path", Args: []Term{Var("X"), Sym("direct"), Var("Y"), Var("C")}},
+		Body: []Subgoal{&Lit{Atom: Atom{Pred: "arc", Args: []Term{Var("X"), Var("Y"), Var("C")}}}},
+	}
+	// path(X, Z, Y, C) :- s(X, Z, C1), arc(Z, Y, C2), C = C1 + C2.
+	r2 := &Rule{
+		Head: Atom{Pred: "path", Args: []Term{Var("X"), Var("Z"), Var("Y"), Var("C")}},
+		Body: []Subgoal{
+			&Lit{Atom: Atom{Pred: "s", Args: []Term{Var("X"), Var("Z"), Var("C1")}}},
+			&Lit{Atom: Atom{Pred: "arc", Args: []Term{Var("Z"), Var("Y"), Var("C2")}}},
+			&Builtin{Op: OpEq, L: VarExpr{V: "C"}, R: &BinExpr{Op: OpAdd, L: VarExpr{V: "C1"}, R: VarExpr{V: "C2"}}},
+		},
+	}
+	// s(X, Y, C) :- C ?= min D : path(X, Z, Y, D).
+	r3 := &Rule{
+		Head: Atom{Pred: "s", Args: []Term{Var("X"), Var("Y"), Var("C")}},
+		Body: []Subgoal{&Agg{
+			Result: "C", Restricted: true, Func: "min", MultisetVar: "D",
+			Conj: []Atom{{Pred: "path", Args: []Term{Var("X"), Var("Z"), Var("Y"), Var("D")}}},
+		}},
+	}
+	return &Program{
+		Rules: []*Rule{r1, r2, r3},
+		CostDecls: []CostDecl{
+			{Pred: "arc/3", Lattice: "minreal"},
+			{Pred: "path/4", Lattice: "minreal"},
+			{Pred: "s/3", Lattice: "minreal"},
+		},
+		Constraints: []*Constraint{{Body: []Subgoal{
+			&Lit{Atom: Atom{Pred: "arc", Args: []Term{Sym("direct"), Var("Z"), Var("C")}}},
+		}}},
+	}
+}
+
+func TestBuildSchemas(t *testing.T) {
+	p := buildShortestPath()
+	s, err := BuildSchemas(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pi := s.Info("path/4")
+	if pi == nil || !pi.HasCost || pi.L.Name() != "minreal" {
+		t.Fatalf("path schema = %+v", pi)
+	}
+	if pi.NonCost() != 3 || pi.CostIndex() != 3 {
+		t.Fatalf("path non-cost arity = %d, cost index = %d", pi.NonCost(), pi.CostIndex())
+	}
+	if err := ValidateProgram(p, s); err != nil {
+		t.Fatalf("validate: %v", err)
+	}
+}
+
+func TestSchemaErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		mut  func(*Program)
+		want string
+	}{
+		{"unknown lattice", func(p *Program) { p.CostDecls[0].Lattice = "zzz" }, "unknown lattice"},
+		{"duplicate cost", func(p *Program) { p.CostDecls = append(p.CostDecls, CostDecl{Pred: "s/3", Lattice: "minreal"}) }, "duplicate"},
+		{"default without cost", func(p *Program) {
+			p.DefaultDecl = append(p.DefaultDecl, DefaultDecl{Pred: "nope/2", Value: val.Number(0)})
+		}, "requires a prior"},
+		{"default not bottom", func(p *Program) {
+			// minreal's bottom is +∞, so 0 must be rejected (§2.3.2).
+			p.DefaultDecl = append(p.DefaultDecl, DefaultDecl{Pred: "s/3", Value: val.Number(0)})
+		}, "not the lattice bottom"},
+	}
+	for _, c := range cases {
+		p := buildShortestPath()
+		c.mut(p)
+		_, err := BuildSchemas(p)
+		if err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: err = %v, want substring %q", c.name, err, c.want)
+		}
+	}
+}
+
+func TestRolesOf(t *testing.T) {
+	p := buildShortestPath()
+	roles := RolesOf(p.Rules[2], 0)
+	if len(roles.Grouping) != 2 || roles.Grouping[0] != "X" || roles.Grouping[1] != "Y" {
+		t.Fatalf("grouping = %v, want [X Y]", roles.Grouping)
+	}
+	if len(roles.Local) != 1 || roles.Local[0] != "Z" {
+		t.Fatalf("local = %v, want [Z]", roles.Local)
+	}
+}
+
+func TestValidateAggErrors(t *testing.T) {
+	mk := func(g *Agg) *Program {
+		p := buildShortestPath()
+		p.Rules[2].Body = []Subgoal{g}
+		return p
+	}
+	cases := []struct {
+		name string
+		g    *Agg
+		want string
+	}{
+		{"unknown func", &Agg{Result: "C", Func: "median", MultisetVar: "D",
+			Conj: []Atom{{Pred: "path", Args: []Term{Var("X"), Var("Z"), Var("Y"), Var("D")}}}}, "unknown aggregate"},
+		{"multiset var in non-cost position", &Agg{Result: "C", Func: "min", MultisetVar: "D",
+			Conj: []Atom{{Pred: "path", Args: []Term{Var("D"), Var("Z"), Var("Y"), Var("D")}}}}, "non-cost position"},
+		{"result inside aggregation", &Agg{Result: "C", Func: "min", MultisetVar: "D",
+			Conj: []Atom{{Pred: "path", Args: []Term{Var("X"), Var("C"), Var("Y"), Var("D")}}}}, "occurs inside"},
+		{"multiset var misses cost args", &Agg{Result: "C", Func: "min", MultisetVar: "D",
+			Conj: []Atom{{Pred: "path", Args: []Term{Var("X"), Var("Z"), Var("Y"), Var("E")}}}}, "does not occur in any cost argument"},
+		{"wrong domain lattice", &Agg{Result: "C", Func: "sum", MultisetVar: "D",
+			Conj: []Atom{{Pred: "path", Args: []Term{Var("X"), Var("Z"), Var("Y"), Var("D")}}}}, "differs from domain"},
+		{"result equals multiset var", &Agg{Result: "D", Func: "min", MultisetVar: "D",
+			Conj: []Atom{{Pred: "path", Args: []Term{Var("X"), Var("Z"), Var("Y"), Var("D")}}}}, "equals multiset"},
+	}
+	for _, c := range cases {
+		p := mk(c.g)
+		s, err := BuildSchemas(p)
+		if err != nil {
+			t.Fatalf("%s: schema err %v", c.name, err)
+		}
+		err = ValidateProgram(p, s)
+		if err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: err = %v, want substring %q", c.name, err, c.want)
+		}
+	}
+}
+
+func TestMultisetVarEscapes(t *testing.T) {
+	p := buildShortestPath()
+	r := p.Rules[2]
+	// Leak D into another subgoal.
+	r.Body = append(r.Body, &Lit{Atom: Atom{Pred: "arc", Args: []Term{Var("X"), Var("Y"), Var("D")}}})
+	s, err := BuildSchemas(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ValidateProgram(p, s); err == nil || !strings.Contains(err.Error(), "escapes") {
+		t.Fatalf("err = %v, want escape error", err)
+	}
+}
+
+func TestFactValue(t *testing.T) {
+	p := buildShortestPath()
+	s, _ := BuildSchemas(p)
+	a := Atom{Pred: "arc", Args: []Term{Sym("a"), Sym("b"), Num(2)}}
+	args, cost, hasCost, err := FactValue(&a, s.Info("arc/3"))
+	if err != nil || !hasCost {
+		t.Fatal(err)
+	}
+	if len(args) != 2 || args[0].S != "a" || cost.N != 2 {
+		t.Fatalf("args = %v, cost = %v", args, cost)
+	}
+	bad := Atom{Pred: "arc", Args: []Term{Sym("a"), Var("Y"), Num(2)}}
+	if _, _, _, err := FactValue(&bad, s.Info("arc/3")); err == nil {
+		t.Fatal("non-ground fact must error")
+	}
+}
+
+func TestProgramAccessors(t *testing.T) {
+	p := buildShortestPath()
+	preds := p.Preds()
+	if len(preds) != 3 {
+		t.Fatalf("preds = %v", preds)
+	}
+	heads := p.HeadPreds()
+	if !heads["path/4"] || !heads["s/3"] || heads["arc/3"] {
+		t.Fatalf("heads = %v", heads)
+	}
+	vs := p.Rules[1].AllVars()
+	if len(vs) != 6 {
+		t.Fatalf("rule-2 vars = %v", vs)
+	}
+}
+
+func TestCompareAndEval(t *testing.T) {
+	ok, err := Compare(OpLt, val.Number(1), val.Number(2))
+	if err != nil || !ok {
+		t.Fatal("1 < 2")
+	}
+	if _, err := Compare(OpLt, val.Symbol("a"), val.Number(2)); err == nil {
+		t.Fatal("ordered comparison of symbol must error")
+	}
+	ok, err = Compare(OpNe, val.Symbol("a"), val.Symbol("b"))
+	if err != nil || !ok {
+		t.Fatal("a != b")
+	}
+	if _, err := EvalExpr(&BinExpr{Op: OpDiv, L: NumExpr{N: 1}, R: NumExpr{N: 0}}, nil); err == nil {
+		t.Fatal("division by zero must error")
+	}
+	if _, err := EvalExpr(VarExpr{V: "X"}, func(Var) (val.T, bool) { return val.T{}, false }); err == nil {
+		t.Fatal("unbound variable must error")
+	}
+}

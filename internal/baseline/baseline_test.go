@@ -1,0 +1,144 @@
+package baseline
+
+import (
+	"math"
+	"testing"
+)
+
+func TestDijkstraBasic(t *testing.T) {
+	g := NewGraph(4)
+	g.AddEdge(0, 1, 1)
+	g.AddEdge(1, 2, 2)
+	g.AddEdge(0, 2, 5)
+	g.AddEdge(2, 3, 1)
+	d := Dijkstra(g, 0)
+	if d[2] != 3 || d[3] != 4 || d[1] != 1 {
+		t.Fatalf("distances = %v", d)
+	}
+	if !math.IsInf(d[0], 1) {
+		t.Fatalf("no cycle through the source: d[0] = %v (nonempty-path convention)", d[0])
+	}
+}
+
+func TestDijkstraCycleThroughSource(t *testing.T) {
+	g := NewGraph(3)
+	g.AddEdge(0, 1, 1)
+	g.AddEdge(1, 2, 1)
+	g.AddEdge(2, 0, 1)
+	d := Dijkstra(g, 0)
+	if d[0] != 3 {
+		t.Fatalf("d[0] = %v, want 3 (shortest cycle)", d[0])
+	}
+}
+
+func TestBellmanFordNegativeWeights(t *testing.T) {
+	g := NewGraph(3)
+	g.AddEdge(0, 1, 5)
+	g.AddEdge(1, 2, -3)
+	g.AddEdge(0, 2, 4)
+	d, err := BellmanFord(g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d[2] != 2 {
+		t.Fatalf("d[2] = %v, want 2", d[2])
+	}
+	// Agreement with Dijkstra on nonnegative graphs.
+	g2 := NewGraph(4)
+	g2.AddEdge(0, 1, 1)
+	g2.AddEdge(1, 2, 2)
+	g2.AddEdge(0, 2, 5)
+	d1 := Dijkstra(g2, 0)
+	d2, err := BellmanFord(g2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range d1 {
+		if d1[i] != d2[i] {
+			t.Fatalf("Dijkstra/Bellman-Ford disagree at %d: %v vs %v", i, d1[i], d2[i])
+		}
+	}
+}
+
+func TestBellmanFordNegativeCycle(t *testing.T) {
+	g := NewGraph(2)
+	g.AddEdge(0, 1, 1)
+	g.AddEdge(1, 0, -2)
+	if _, err := BellmanFord(g, 0); err != ErrNegativeCycle {
+		t.Fatalf("err = %v, want ErrNegativeCycle", err)
+	}
+}
+
+func TestCompanyControlDirect(t *testing.T) {
+	o := NewOwnership(3)
+	o.Share[0][1] = 0.6 // a controls b
+	o.Share[0][2] = 0.3
+	o.Share[1][2] = 0.3 // a+b control c
+	controls, holdings := CompanyControl(o)
+	if !controls[0][1] || !controls[0][2] {
+		t.Fatalf("controls = %v", controls)
+	}
+	if controls[1][2] {
+		t.Fatal("b alone does not control c")
+	}
+	if holdings[0][2] != 0.6 {
+		t.Fatalf("holdings[0][2] = %v", holdings[0][2])
+	}
+}
+
+func TestCircuitEval(t *testing.T) {
+	c := NewCircuit(4)
+	c.Kind[0] = InputNode
+	c.InputVal[0] = true
+	c.Kind[1] = InputNode
+	c.InputVal[1] = false
+	c.Kind[2] = AndGate
+	c.In[2] = []int{0, 1}
+	c.Kind[3] = OrGate
+	c.In[3] = []int{0, 2}
+	v := c.Eval()
+	if v[2] || !v[3] {
+		t.Fatalf("values = %v", v)
+	}
+}
+
+func TestCircuitCyclicMinimal(t *testing.T) {
+	// AND gate feeding itself: stays false. OR latch with true input:
+	// becomes true.
+	c := NewCircuit(1)
+	c.Kind[0] = AndGate
+	c.In[0] = []int{0}
+	if v := c.Eval(); v[0] {
+		t.Fatal("self-AND must stay false (minimal behaviour)")
+	}
+	c2 := NewCircuit(2)
+	c2.Kind[0] = InputNode
+	c2.InputVal[0] = true
+	c2.Kind[1] = OrGate
+	c2.In[1] = []int{0, 1}
+	if v := c2.Eval(); !v[1] {
+		t.Fatal("OR latch must turn true")
+	}
+}
+
+func TestPartyAttendance(t *testing.T) {
+	p := NewParty(3)
+	p.Requires = []int{0, 1, 2}
+	p.Knows[1] = []int{0}
+	p.Knows[2] = []int{0, 1}
+	coming := p.Attendance()
+	for i, want := range []bool{true, true, true} {
+		if coming[i] != want {
+			t.Fatalf("coming = %v", coming)
+		}
+	}
+	// A mutual-requirement cycle stays home.
+	q := NewParty(2)
+	q.Requires = []int{1, 1}
+	q.Knows[0] = []int{1}
+	q.Knows[1] = []int{0}
+	coming = q.Attendance()
+	if coming[0] || coming[1] {
+		t.Fatal("the cycle must not bootstrap itself")
+	}
+}

@@ -1,0 +1,166 @@
+package baseline
+
+// Ownership is a share-ownership network: Share[x][y] is the fraction of
+// company y's shares owned directly by company x.
+type Ownership struct {
+	N     int
+	Share [][]float64
+}
+
+// NewOwnership builds an empty network over n companies.
+func NewOwnership(n int) *Ownership {
+	s := make([][]float64, n)
+	for i := range s {
+		s[i] = make([]float64, n)
+	}
+	return &Ownership{N: n, Share: s}
+}
+
+// CompanyControl solves Example 2.7 directly: controls[x][y] is true when
+// x's direct shares in y plus the shares held by companies x controls
+// exceed one half. The iteration mirrors the monotone fixpoint: control
+// claims only ever get added, and each addition only raises the sums.
+func CompanyControl(o *Ownership) (controls [][]bool, holdings [][]float64) {
+	controls = make([][]bool, o.N)
+	for i := range controls {
+		controls[i] = make([]bool, o.N)
+	}
+	holdings = make([][]float64, o.N)
+	for i := range holdings {
+		holdings[i] = make([]float64, o.N)
+	}
+	for changed := true; changed; {
+		changed = false
+		for x := 0; x < o.N; x++ {
+			for y := 0; y < o.N; y++ {
+				sum := o.Share[x][y]
+				for z := 0; z < o.N; z++ {
+					if z != x && controls[x][z] {
+						sum += o.Share[z][y]
+					}
+				}
+				holdings[x][y] = sum
+				if sum > 0.5 && !controls[x][y] {
+					controls[x][y] = true
+					changed = true
+				}
+			}
+		}
+	}
+	return controls, holdings
+}
+
+// GateKind distinguishes circuit node types.
+type GateKind int
+
+// The circuit node kinds.
+const (
+	InputNode GateKind = iota
+	AndGate
+	OrGate
+)
+
+// Circuit is a (possibly cyclic) boolean circuit (Example 4.4). Node i
+// has kind Kind[i]; gate inputs are listed in In[i]; InputVal[i] is the
+// value of an input node.
+type Circuit struct {
+	N        int
+	Kind     []GateKind
+	In       [][]int
+	InputVal []bool
+}
+
+// NewCircuit builds an all-false-input circuit with n nodes.
+func NewCircuit(n int) *Circuit {
+	return &Circuit{
+		N:        n,
+		Kind:     make([]GateKind, n),
+		In:       make([][]int, n),
+		InputVal: make([]bool, n),
+	}
+}
+
+// Eval computes the minimal fixpoint of the circuit: every wire starts
+// false (the default value of Example 4.4) and gates are re-evaluated
+// until stable. Because values only flip false→true, the iteration is
+// monotone and terminates.
+func (c *Circuit) Eval() []bool {
+	v := make([]bool, c.N)
+	for i := 0; i < c.N; i++ {
+		if c.Kind[i] == InputNode {
+			v[i] = c.InputVal[i]
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		for i := 0; i < c.N; i++ {
+			var nv bool
+			switch c.Kind[i] {
+			case InputNode:
+				continue
+			case AndGate:
+				nv = true
+				for _, w := range c.In[i] {
+					if !v[w] {
+						nv = false
+						break
+					}
+				}
+				if len(c.In[i]) == 0 {
+					nv = true // AND of the empty multiset is true
+				}
+			case OrGate:
+				nv = false
+				for _, w := range c.In[i] {
+					if v[w] {
+						nv = true
+						break
+					}
+				}
+			}
+			if nv && !v[i] {
+				v[i] = true
+				changed = true
+			}
+		}
+	}
+	return v
+}
+
+// Party is an instance of Example 4.3: Requires[i] is how many attending
+// acquaintances invitee i needs; Knows[i] lists whom i knows.
+type Party struct {
+	N        int
+	Requires []int
+	Knows    [][]int
+}
+
+// NewParty builds an instance with n invitees.
+func NewParty(n int) *Party {
+	return &Party{N: n, Requires: make([]int, n), Knows: make([][]int, n)}
+}
+
+// Attendance computes who comes: the least fixpoint of "x comes when at
+// least Requires[x] of x's acquaintances come".
+func (p *Party) Attendance() []bool {
+	coming := make([]bool, p.N)
+	for changed := true; changed; {
+		changed = false
+		for x := 0; x < p.N; x++ {
+			if coming[x] {
+				continue
+			}
+			n := 0
+			for _, y := range p.Knows[x] {
+				if coming[y] {
+					n++
+				}
+			}
+			if n >= p.Requires[x] {
+				coming[x] = true
+				changed = true
+			}
+		}
+	}
+	return coming
+}

@@ -1,0 +1,157 @@
+// Package baseline provides direct algorithmic implementations of the
+// paper's example problems — shortest paths (Dijkstra, Bellman–Ford),
+// company control, circuit evaluation and party attendance — used as
+// ground truth for the deductive engine in tests and benchmarks.
+package baseline
+
+import (
+	"container/heap"
+	"errors"
+	"math"
+)
+
+// Graph is a weighted directed graph over integer vertex ids [0, N).
+type Graph struct {
+	N     int
+	Edges []Edge
+	adj   [][]Edge
+}
+
+// Edge is a directed weighted edge.
+type Edge struct {
+	From, To int
+	W        float64
+}
+
+// NewGraph builds a graph with n vertices.
+func NewGraph(n int) *Graph { return &Graph{N: n} }
+
+// AddEdge appends an edge.
+func (g *Graph) AddEdge(u, v int, w float64) {
+	g.Edges = append(g.Edges, Edge{u, v, w})
+	g.adj = nil
+}
+
+// Adj returns the adjacency lists, building them on first use.
+func (g *Graph) Adj() [][]Edge {
+	if g.adj == nil {
+		g.adj = make([][]Edge, g.N)
+		for _, e := range g.Edges {
+			g.adj[e.From] = append(g.adj[e.From], e)
+		}
+	}
+	return g.adj
+}
+
+// Dijkstra returns single-source shortest path distances (math.Inf(1) for
+// unreachable vertices). Weights must be nonnegative.
+//
+// Note the paper's convention (Example 2.6): the source itself is at
+// distance +∞ unless a cycle returns to it, because s(X,Y) holds only for
+// actual paths (of length ≥ 1), not for the empty path. Dijkstra is run
+// accordingly: dist[src] is the length of the shortest nonempty cycle
+// through src.
+func Dijkstra(g *Graph, src int) []float64 {
+	dist := make([]float64, g.N)
+	for i := range dist {
+		dist[i] = math.Inf(1)
+	}
+	adj := g.Adj()
+	type item struct {
+		v int
+		d float64
+	}
+	pq := &pqueue{}
+	// Seed with the out-edges of src rather than dist[src] = 0, per the
+	// nonempty-path convention above.
+	for _, e := range adj[src] {
+		if e.W < dist[e.To] {
+			dist[e.To] = e.W
+			heap.Push(pq, pqItem{e.To, e.W})
+		}
+	}
+	for pq.Len() > 0 {
+		it := heap.Pop(pq).(pqItem)
+		if it.d > dist[it.v] {
+			continue
+		}
+		for _, e := range adj[it.v] {
+			nd := it.d + e.W
+			if nd < dist[e.To] {
+				dist[e.To] = nd
+				heap.Push(pq, pqItem{e.To, nd})
+			}
+		}
+	}
+	_ = item{}
+	return dist
+}
+
+type pqItem struct {
+	v int
+	d float64
+}
+
+type pqueue []pqItem
+
+func (p pqueue) Len() int           { return len(p) }
+func (p pqueue) Less(i, j int) bool { return p[i].d < p[j].d }
+func (p pqueue) Swap(i, j int)      { p[i], p[j] = p[j], p[i] }
+func (p *pqueue) Push(x any)        { *p = append(*p, x.(pqItem)) }
+func (p *pqueue) Pop() any {
+	old := *p
+	n := len(old)
+	x := old[n-1]
+	*p = old[:n-1]
+	return x
+}
+
+// ErrNegativeCycle is returned by BellmanFord when a negative cycle is
+// reachable from the source (the deductive program diverges there too).
+var ErrNegativeCycle = errors.New("baseline: negative cycle reachable")
+
+// BellmanFord returns single-source shortest nonempty-path distances,
+// supporting negative weights on graphs without reachable negative
+// cycles.
+func BellmanFord(g *Graph, src int) ([]float64, error) {
+	dist := make([]float64, g.N)
+	for i := range dist {
+		dist[i] = math.Inf(1)
+	}
+	for _, e := range g.Edges {
+		if e.From == src && e.W < dist[e.To] {
+			dist[e.To] = e.W
+		}
+	}
+	for iter := 0; iter < g.N; iter++ {
+		changed := false
+		for _, e := range g.Edges {
+			if math.IsInf(dist[e.From], 1) {
+				continue
+			}
+			if nd := dist[e.From] + e.W; nd < dist[e.To] {
+				dist[e.To] = nd
+				changed = true
+			}
+		}
+		if !changed {
+			return dist, nil
+		}
+	}
+	// One more pass: any improvement implies a negative cycle.
+	for _, e := range g.Edges {
+		if !math.IsInf(dist[e.From], 1) && dist[e.From]+e.W < dist[e.To] {
+			return nil, ErrNegativeCycle
+		}
+	}
+	return dist, nil
+}
+
+// AllPairs runs Dijkstra from every source.
+func AllPairs(g *Graph) [][]float64 {
+	out := make([][]float64, g.N)
+	for s := 0; s < g.N; s++ {
+		out[s] = Dijkstra(g, s)
+	}
+	return out
+}

@@ -1,0 +1,217 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/lattice"
+	"repro/internal/val"
+)
+
+// aggregate evaluates an aggregate subgoal (Definition 2.4) under the
+// current environment and invokes cont for each satisfying extension.
+//
+// Two execution modes:
+//
+//   - point mode: every grouping variable is already bound; the multiset
+//     of the single group is computed (possibly empty — the total "="
+//     form is defined on empty groups, the restricted "?=" form fails).
+//   - grouped mode (restricted form only): unbound grouping variables are
+//     enumerated by grouping the conjunction's matches, yielding one
+//     extension per nonempty group — this is how
+//     "s(X,Y,C) :- C ?= min D : path(X,Z,Y,D)" executes.
+//
+// onlyGroups, when non-nil, limits evaluation to the listed groups (the
+// semi-naive Δ-driven restriction; see solveSemiNaive).
+func (ev *evaluator) aggregate(s *aggStep, stepIdx int, onlyGroups map[string][]val.T, e *env, cont func() error) error {
+	allBound := true
+	for _, v := range s.groupVars {
+		if !e.bound[v] {
+			allBound = false
+			break
+		}
+	}
+	if !allBound && !s.restricted {
+		return fmt.Errorf("core: total aggregate %s with unbound grouping variables", s.g)
+	}
+
+	// Δ-driven grouped evaluation: instead of enumerating every group,
+	// bind the grouping variables to each changed group's values and
+	// recurse in (indexed) point mode.
+	if onlyGroups != nil && !allBound {
+		for _, gk := range sortedKeys(onlyGroups) {
+			keyVals := onlyGroups[gk]
+			var saved []int
+			ok := true
+			for j, v := range s.groupVars {
+				if e.bound[v] {
+					if !val.Equal(e.vals[v], keyVals[j]) {
+						ok = false
+						break
+					}
+					continue
+				}
+				e.vals[v] = keyVals[j]
+				e.bound[v] = true
+				saved = append(saved, v)
+			}
+			if ok {
+				if err := ev.aggregate(s, stepIdx, nil, e, cont); err != nil {
+					unbind(e, saved)
+					return err
+				}
+			}
+			unbind(e, saved)
+		}
+		return nil
+	}
+
+	// Point mode under a Δ restriction: skip unchanged groups before any
+	// enumeration work.
+	if allBound && onlyGroups != nil {
+		key := make([]val.T, len(s.groupVars))
+		for j, v := range s.groupVars {
+			key[j] = e.vals[v]
+		}
+		if _, ok := onlyGroups[val.KeyOf(key)]; !ok {
+			return nil
+		}
+	}
+
+	// Order the conjunction for the current binding pattern.
+	boundSet := map[int]bool{}
+	noteBound := func(v int) {
+		if v >= 0 && e.bound[v] {
+			boundSet[v] = true
+		}
+	}
+	for _, sp := range s.conj {
+		for _, v := range sp.argVar {
+			noteBound(v)
+		}
+		noteBound(sp.costVar)
+	}
+	order, err := orderConj(s.conj, boundSet)
+	if err != nil {
+		return err
+	}
+
+	type group struct {
+		keyVals  []val.T
+		elems    []lattice.Elem
+		supports []Support
+	}
+	groups := map[string]*group{}
+
+	element := func() lattice.Elem {
+		if s.msVar >= 0 {
+			return e.vals[s.msVar]
+		}
+		// Implicit boolean cost: each match contributes one "true".
+		return val.Boolean(true)
+	}
+
+	// In point mode every match lands in the same group, so the per-match
+	// key computation is skipped entirely.
+	var pointElems []lattice.Elem
+	var pointSupports []Support
+	collectSupports := func(dst []Support) []Support {
+		for ci := range s.conj {
+			dst = append(dst, supportOfAtom(&s.conj[ci], e, false))
+		}
+		return dst
+	}
+	keyScratch := make([]val.T, len(s.groupVars))
+	var enumerate func(i int) error
+	enumerate = func(i int) error {
+		if i == len(order) {
+			if allBound {
+				pointElems = append(pointElems, element())
+				if ev.trace {
+					pointSupports = collectSupports(pointSupports)
+				}
+				return nil
+			}
+			for j, v := range s.groupVars {
+				keyScratch[j] = e.vals[v]
+			}
+			gk := val.KeyOf(keyScratch)
+			g := groups[gk]
+			if g == nil {
+				g = &group{keyVals: append([]val.T{}, keyScratch...)}
+				groups[gk] = g
+			}
+			g.elems = append(g.elems, element())
+			if ev.trace {
+				g.supports = collectSupports(g.supports)
+			}
+			return nil
+		}
+		sp := &s.conj[order[i]]
+		return ev.scan(sp, e, func(row relationRow) error {
+			saved, ok := bindAtom(sp, row, e)
+			if !ok {
+				return nil
+			}
+			err := enumerate(i + 1)
+			unbind(e, saved)
+			return err
+		})
+	}
+	if err := enumerate(0); err != nil {
+		return err
+	}
+
+	emitGroup := func(g *group) error {
+		if s.restricted && len(g.elems) == 0 {
+			return nil
+		}
+		res, ok := s.f.Apply(g.elems)
+		if !ok {
+			// Undefined aggregate (e.g. avg of the empty multiset in the
+			// total form): the ground instance is simply unsatisfied.
+			return nil
+		}
+		var saved []int
+		// Bind any unbound grouping variables (grouped mode).
+		for j, v := range s.groupVars {
+			if !e.bound[v] {
+				e.vals[v] = g.keyVals[j]
+				e.bound[v] = true
+				saved = append(saved, v)
+			}
+		}
+		if e.bound[s.result] {
+			if !lattice.Eq(s.f.Range(), e.vals[s.result], res) {
+				unbind(e, saved)
+				return nil
+			}
+		} else {
+			e.vals[s.result] = res
+			e.bound[s.result] = true
+			saved = append(saved, s.result)
+		}
+		if ev.trace {
+			if e.aggSupports == nil {
+				e.aggSupports = map[int][]Support{}
+			}
+			e.aggSupports[stepIdx] = g.supports
+		}
+		err := cont()
+		if ev.trace {
+			delete(e.aggSupports, stepIdx)
+		}
+		unbind(e, saved)
+		return err
+	}
+
+	if allBound {
+		return emitGroup(&group{elems: pointElems, supports: pointSupports})
+	}
+	// Grouped mode: deterministic group order.
+	for _, gk := range sortedKeys(groups) {
+		if err := emitGroup(groups[gk]); err != nil {
+			return err
+		}
+	}
+	return nil
+}

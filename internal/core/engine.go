@@ -1,0 +1,516 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/ast"
+	"repro/internal/consistency"
+	"repro/internal/deps"
+	"repro/internal/lattice"
+	"repro/internal/monotone"
+	"repro/internal/relation"
+	"repro/internal/safety"
+	"repro/internal/val"
+)
+
+// Strategy selects the fixpoint algorithm of §6.2.
+type Strategy int
+
+// SemiNaive accumulates the interpretation and refires only rule
+// instances touching changed CDB atoms; Naive recomputes T_P from scratch
+// each round (the literal Definition 3.7 iteration).
+const (
+	SemiNaive Strategy = iota
+	Naive
+)
+
+// Options configures an Engine.
+type Options struct {
+	Strategy Strategy
+	// MaxRounds bounds the fixpoint iteration per component; 0 means the
+	// default (1 << 20). Programs whose least fixpoint lies at ω
+	// (Example 5.1) exhaust any bound unless Epsilon is set.
+	MaxRounds int
+	// Epsilon treats numeric cost improvements smaller than it as
+	// convergence — the practical device for ω-limit programs (§6.2).
+	Epsilon float64
+	// SkipChecks disables the static analyses (safety, conflict-freedom,
+	// admissibility). Experiments on deliberately non-monotonic programs
+	// (e.g. the two-minimal-model example of §3) use this.
+	SkipChecks bool
+	// StrictConflicts uses InsertStrict during each T_P application,
+	// surfacing runtime cost-consistency violations (only meaningful with
+	// Strategy == Naive, where each application is computed fresh).
+	StrictConflicts bool
+	// WFSFallback enables the full iterated construction of §6.3: a
+	// component that is not admissible (e.g. it recurses through
+	// negation) is evaluated under the Kemp–Stuckey well-founded
+	// semantics instead; its well-founded model must be two-valued, and
+	// becomes the base interpretation for the components above it.
+	WFSFallback bool
+	// DisableGroupDelta turns off the Δ-driven aggregate group
+	// restriction in the semi-naive strategy (ablation switch; see
+	// BenchmarkGroupDeltaAblation).
+	DisableGroupDelta bool
+	// Trace records, for every derived tuple, the rule and ground body
+	// of its last improvement, queryable through Explain/ExplainTree.
+	Trace bool
+}
+
+// Stats reports work done by Solve.
+type Stats struct {
+	Components int
+	Rounds     int
+	Firings    int64
+	Derived    int64
+}
+
+// Engine evaluates a program bottom-up, one component at a time (§6.3).
+type Engine struct {
+	Prog    *ast.Program
+	Schemas ast.Schemas
+	// Report is the static classification (set even when checks pass).
+	Report monotone.Report
+	opts   Options
+	comps  []*deps.Component
+	plans  [][]*plan // per component
+	// compAdm holds the per-component admissibility verdict; wfsComp
+	// marks components evaluated by the well-founded fallback (§6.3).
+	compAdm []error
+	wfsComp []bool
+	// trace holds the provenance of the most recent traced Solve.
+	trace map[string]*Derivation
+}
+
+// New compiles and (unless opts.SkipChecks) statically validates a
+// program: range restriction (Definition 2.5), conflict-freedom
+// (Definition 2.10) and componentwise admissibility (Definition 4.5).
+func New(prog *ast.Program, opts Options) (*Engine, error) {
+	if opts.MaxRounds == 0 {
+		opts.MaxRounds = 1 << 20
+	}
+	schemas, err := ast.BuildSchemas(prog)
+	if err != nil {
+		return nil, err
+	}
+	if err := ast.ValidateProgram(prog, schemas); err != nil {
+		return nil, err
+	}
+	en := &Engine{Prog: prog, Schemas: schemas, opts: opts}
+	if !opts.SkipChecks {
+		if err := safety.CheckProgram(prog, schemas); err != nil {
+			return nil, err
+		}
+		if err := consistency.ConflictFree(prog, schemas); err != nil {
+			return nil, err
+		}
+	}
+	en.Report = monotone.CheckProgram(prog, schemas)
+	g := deps.Build(prog)
+	en.comps = g.SCCs()
+	for _, c := range en.comps {
+		cdb, _ := deps.Split(prog, c)
+		rules := deps.RulesOfComponent(prog, c)
+		cx := &monotone.Context{Schemas: schemas, CDB: cdb}
+		var admErr error
+		for _, r := range rules {
+			if err := cx.CheckAdmissible(r); err != nil {
+				admErr = err
+				break
+			}
+		}
+		en.compAdm = append(en.compAdm, admErr)
+		useWFS := admErr != nil && opts.WFSFallback
+		en.wfsComp = append(en.wfsComp, useWFS)
+		if admErr != nil && !useWFS && !opts.SkipChecks {
+			return nil, fmt.Errorf("core: program is not admissible (its least fixpoint may not exist): %w", admErr)
+		}
+		if useWFS {
+			en.plans = append(en.plans, nil)
+			continue
+		}
+		comp := &compiler{schemas: schemas, cdb: cdb}
+		var ps []*plan
+		for _, r := range rules {
+			p, err := comp.compileRule(r)
+			if err != nil {
+				return nil, err
+			}
+			ps = append(ps, p)
+		}
+		en.plans = append(en.plans, ps)
+	}
+	return en, nil
+}
+
+// Solve computes the iterated minimal model: the least fixpoint of T_P
+// for each component in bottom-up order, starting from the EDB.
+func (en *Engine) Solve(edb *relation.DB) (*relation.DB, Stats, error) {
+	db := relation.NewDB(en.Schemas)
+	if edb != nil {
+		db.Join(edb)
+	}
+	en.trace = nil
+	var stats Stats
+	for ci, c := range en.comps {
+		if en.wfsComp[ci] {
+			stats.Components++
+			if err := en.solveWFSComponent(db, ci, &stats); err != nil {
+				return nil, stats, err
+			}
+			continue
+		}
+		ps := en.plans[ci]
+		if len(ps) == 0 {
+			continue // EDB-only component
+		}
+		stats.Components++
+		var err error
+		if en.opts.Strategy == Naive {
+			err = en.solveNaive(db, c, ps, &stats)
+		} else {
+			err = en.solveSemiNaive(db, c, ps, &stats)
+		}
+		if err != nil {
+			return nil, stats, err
+		}
+	}
+	return db, stats, nil
+}
+
+// headTuple extracts the head instantiation from a completed environment.
+func headTuple(p *plan, e *env) (args []val.T, cost lattice.Elem, err error) {
+	hs := &p.head
+	args = make([]val.T, len(hs.argVar))
+	for j, v := range hs.argVar {
+		if v >= 0 {
+			args[j] = e.vals[v]
+		} else {
+			args[j] = hs.argVal[j]
+		}
+	}
+	if hs.pi.HasCost {
+		if hs.costVar >= 0 {
+			cost = e.vals[hs.costVar]
+		} else {
+			cost = hs.costVal
+		}
+		if !hs.pi.L.Contains(cost) {
+			return nil, lattice.Elem{}, fmt.Errorf("core: rule %q derived cost %s outside lattice %s",
+				p.rule, cost, hs.pi.L.Name())
+		}
+	}
+	return args, cost, nil
+}
+
+// solveNaive iterates J ← T_P(J, I) until lattice equality (within
+// Epsilon) over the component's predicates.
+func (en *Engine) solveNaive(db *relation.DB, c *deps.Component, ps []*plan, stats *Stats) error {
+	// EDB rows supplied for component predicates behave as part of I and
+	// must survive the per-round relation replacement.
+	seed := map[ast.PredKey]*relation.Relation{}
+	for _, k := range c.Preds {
+		if db.Has(k) && db.Rel(k).Len() > 0 {
+			seed[k] = db.Rel(k).Clone()
+		}
+	}
+	for round := 0; ; round++ {
+		if round >= en.opts.MaxRounds {
+			return fmt.Errorf("core: component %v did not reach a fixpoint within %d rounds (ω-limit program? set Epsilon, §6.2)", c.Preds, en.opts.MaxRounds)
+		}
+		stats.Rounds++
+		out := relation.NewDB(db.Schemas)
+		ev := &evaluator{db: db, trace: en.opts.Trace}
+		for _, p := range ps {
+			p := p
+			err := ev.run(p, func(e *env) error {
+				args, cost, err := headTuple(p, e)
+				if err != nil {
+					return err
+				}
+				rel := out.Rel(p.head.pred)
+				if en.opts.StrictConflicts {
+					return rel.InsertStrict(args, cost)
+				}
+				if rel.InsertJoin(args, cost) {
+					stats.Derived++
+					if en.opts.Trace {
+						en.recordTrace(p, e, args)
+					}
+				}
+				return nil
+			})
+			if err != nil {
+				return err
+			}
+		}
+		stats.Firings += ev.firings
+		for k, r := range seed {
+			out.Rel(k).Join(r)
+		}
+		// Compare the new component relations against the current ones.
+		same := true
+		for _, k := range c.Preds {
+			if !relEqualEps(out.Rel(k), db.Rel(k), en.opts.Epsilon) {
+				same = false
+				break
+			}
+		}
+		for _, k := range c.Preds {
+			db.SetRel(k, out.Rel(k))
+		}
+		if same {
+			return nil
+		}
+	}
+}
+
+// deltaSet records changed rows per predicate with deduplication.
+type deltaSet struct {
+	rows map[ast.PredKey][]relation.Row
+	seen map[ast.PredKey]map[string]bool
+}
+
+func newDeltaSet() *deltaSet {
+	return &deltaSet{rows: map[ast.PredKey][]relation.Row{}, seen: map[ast.PredKey]map[string]bool{}}
+}
+
+func (d *deltaSet) add(k ast.PredKey, row relation.Row) {
+	s := d.seen[k]
+	if s == nil {
+		s = map[string]bool{}
+		d.seen[k] = s
+	}
+	key := val.KeyOf(row.Args)
+	if s[key] {
+		return
+	}
+	s[key] = true
+	d.rows[k] = append(d.rows[k], row)
+}
+
+func (d *deltaSet) empty() bool { return len(d.rows) == 0 }
+
+// preds returns the changed predicates in deterministic order.
+func (d *deltaSet) preds() []ast.PredKey {
+	out := make([]ast.PredKey, 0, len(d.rows))
+	for k := range d.rows {
+		out = append(out, k)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// solveSemiNaive accumulates the interpretation and refires only rules
+// whose CDB inputs changed: rules with positive CDB scans run once per
+// changed-scan seed; rules referencing CDB predicates inside aggregates
+// re-run (group-restricted where possible) when such a predicate changed.
+func (en *Engine) solveSemiNaive(db *relation.DB, c *deps.Component, ps []*plan, stats *Stats) error {
+	return en.semiNaiveLoop(db, c, ps, stats, nil, nil)
+}
+
+// semiNaiveLoop runs the Δ-driven fixpoint. When init is nil, round 0
+// fires every rule (the fresh-solve case); otherwise init seeds the Δ set
+// (the incremental SolveMore case, where init holds newly added EDB rows
+// and derivations recorded by lower components). record, when non-nil,
+// mirrors every derived change outward (for cross-component seeding).
+func (en *Engine) semiNaiveLoop(db *relation.DB, c *deps.Component, ps []*plan, stats *Stats, init *deltaSet, record func(ast.PredKey, relation.Row)) error {
+	delta := newDeltaSet()
+	insert := func(p *plan, e *env) error {
+		args, cost, err := headTuple(p, e)
+		if err != nil {
+			return err
+		}
+		rel := db.Rel(p.head.pred)
+		if insertEps(rel, args, cost, en.opts.Epsilon) {
+			stats.Derived++
+			row, _ := rel.GetOrDefault(args)
+			delta.add(p.head.pred, row)
+			if record != nil {
+				record(p.head.pred, row)
+			}
+			if en.opts.Trace {
+				en.recordTrace(p, e, args)
+			}
+		}
+		return nil
+	}
+
+	if init == nil {
+		// Round 0: fire everything.
+		stats.Rounds++
+		ev := &evaluator{db: db, trace: en.opts.Trace}
+		for _, p := range ps {
+			p := p
+			if err := ev.run(p, func(e *env) error { return insert(p, e) }); err != nil {
+				return err
+			}
+		}
+		stats.Firings += ev.firings
+	} else {
+		delta = init
+	}
+
+	for round := 1; !delta.empty(); round++ {
+		if round >= en.opts.MaxRounds {
+			return fmt.Errorf("core: component %v did not reach a fixpoint within %d rounds (ω-limit program? set Epsilon, §6.2)", c.Preds, en.opts.MaxRounds)
+		}
+		stats.Rounds++
+		prev := delta
+		delta = newDeltaSet()
+		for _, p := range ps {
+			p := p
+			// Aggregate-driven re-run when an aggregated predicate
+			// changed: restricted to the changed groups when every
+			// grouping variable can be recovered from the changed rows,
+			// otherwise a full re-run (which then also covers the scan
+			// deltas below).
+			if aggPredChanged(p, prev) {
+				groups, restricted := changedGroups(p, prev)
+				if en.opts.DisableGroupDelta {
+					groups, restricted = nil, false
+				}
+				ev := &evaluator{db: db, aggGroups: groups, trace: en.opts.Trace}
+				if err := ev.run(p, func(e *env) error { return insert(p, e) }); err != nil {
+					return err
+				}
+				stats.Firings += ev.firings
+				if !restricted {
+					continue
+				}
+			}
+			// Scan-driven delta runs: one pass per changed scanned
+			// predicate (CDB during a fresh solve; possibly EDB when
+			// seeded incrementally).
+			for _, k := range prev.preds() {
+				rows := prev.rows[k]
+				for _, si := range p.scanSteps[k] {
+					ev := &evaluator{db: db, restrictStep: si, restrictRows: rows, trace: en.opts.Trace}
+					if err := ev.run(p, func(e *env) error { return insert(p, e) }); err != nil {
+						return err
+					}
+					stats.Firings += ev.firings
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// changedGroups computes, per aggregate step of the plan, the groups
+// whose multisets may have changed given the Δ set. restricted is false
+// when some changed conjunct cannot be projected onto the full group key
+// (the caller then treats the run as unrestricted).
+func changedGroups(p *plan, d *deltaSet) (map[int]map[string][]val.T, bool) {
+	out := map[int]map[string][]val.T{}
+	for si, s := range p.steps {
+		ag, ok := s.(*aggStep)
+		if !ok {
+			continue
+		}
+		touched := false
+		keys := map[string][]val.T{}
+		for ci, sp := range ag.conj {
+			rows := d.rows[sp.pred]
+			if len(rows) == 0 {
+				continue
+			}
+			touched = true
+			for _, row := range rows {
+				gk, ok := ag.groupKeyOfRow(ci, row.Args)
+				if !ok {
+					return nil, false
+				}
+				if _, dup := keys[gk]; !dup {
+					pos := ag.groupKeyPos[ci]
+					vals := make([]val.T, len(pos))
+					for j, pidx := range pos {
+						vals[j] = row.Args[pidx]
+					}
+					keys[gk] = vals
+				}
+			}
+		}
+		if touched {
+			out[si] = keys
+		}
+	}
+	return out, true
+}
+
+func aggPredChanged(p *plan, d *deltaSet) bool {
+	for _, s := range p.steps {
+		ag, ok := s.(*aggStep)
+		if !ok {
+			continue
+		}
+		for _, sp := range ag.conj {
+			if len(d.rows[sp.pred]) > 0 {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// insertEps is InsertJoin with numeric convergence tolerance: an
+// improvement smaller than eps does not count as a change.
+func insertEps(rel *relation.Relation, args []val.T, cost lattice.Elem, eps float64) bool {
+	if eps > 0 {
+		if old, ok := rel.Get(args); ok && old.HasCost && old.Cost.Kind == val.Num && cost.Kind == val.Num {
+			j := rel.Info.L.Join(old.Cost, cost)
+			if math.Abs(j.N-old.Cost.N) <= eps {
+				return false
+			}
+		}
+	}
+	return rel.InsertJoin(args, cost)
+}
+
+// EqualEps compares two interpretations with numeric tolerance eps on
+// cost values (useful when comparing results of evaluation strategies
+// whose float rounding may differ by an ulp).
+func EqualEps(a, b *relation.DB, eps float64) bool {
+	seen := map[ast.PredKey]bool{}
+	for _, k := range append(a.Preds(), b.Preds()...) {
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		if !relEqualEps(a.Rel(k), b.Rel(k), eps) {
+			return false
+		}
+	}
+	return true
+}
+
+// relEqualEps compares two relations with numeric tolerance.
+func relEqualEps(a, b *relation.Relation, eps float64) bool {
+	return relLeqEps(a, b, eps) && relLeqEps(b, a, eps)
+}
+
+func relLeqEps(a, b *relation.Relation, eps float64) bool {
+	ok := true
+	a.Each(func(row relation.Row) bool {
+		o, found := b.GetOrDefault(row.Args)
+		if !found {
+			ok = false
+			return false
+		}
+		if !row.HasCost {
+			return true
+		}
+		if a.Info.L.Leq(row.Cost, o.Cost) {
+			return true
+		}
+		if eps > 0 && row.Cost.Kind == val.Num && o.Cost.Kind == val.Num &&
+			math.Abs(row.Cost.N-o.Cost.N) <= eps {
+			return true
+		}
+		ok = false
+		return false
+	})
+	return ok
+}

@@ -1,0 +1,276 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/ast"
+	"repro/internal/lattice"
+	"repro/internal/relation"
+	"repro/internal/val"
+)
+
+// relationRow aliases relation.Row for the inner enumeration loops.
+type relationRow = relation.Row
+
+// env is a runtime binding of plan variables.
+type env struct {
+	vals  []val.T
+	bound []bool
+	// aggSupports records, per aggregate step index, the contributing
+	// ground atoms of the group currently being emitted (tracing only).
+	aggSupports map[int][]Support
+}
+
+func newEnv(n int) *env {
+	return &env{vals: make([]val.T, n), bound: make([]bool, n)}
+}
+
+func (e *env) reset() {
+	for i := range e.bound {
+		e.bound[i] = false
+	}
+}
+
+// evaluator runs plans against a database.
+type evaluator struct {
+	db *relation.DB
+	// restrict, when non-nil, restricts the scan at step restrictStep of
+	// the driving plan to the given rows (the semi-naive Δ set).
+	restrictStep int
+	restrictRows []relation.Row
+	// aggGroups, when non-nil for a step index, restricts that aggregate
+	// step to the given groups (key string -> grouping values), the
+	// semi-naive Δ-driven restriction.
+	aggGroups map[int]map[string][]val.T
+	// trace makes aggregate steps record their contributing atoms into
+	// the environment for provenance capture.
+	trace bool
+	// stats counters.
+	firings int64
+}
+
+// run enumerates every satisfying assignment of the plan body and calls
+// emit with the completed environment.
+func (ev *evaluator) run(p *plan, emit func(*env) error) error {
+	e := newEnv(p.nvars)
+	return ev.step(p, 0, e, emit)
+}
+
+func (ev *evaluator) step(p *plan, i int, e *env, emit func(*env) error) error {
+	if i == len(p.steps) {
+		ev.firings++
+		return emit(e)
+	}
+	switch s := p.steps[i].(type) {
+	case *scanStep:
+		next := func(row relation.Row) error {
+			saved, ok := bindAtom(&s.atomSpec, row, e)
+			if !ok {
+				return nil
+			}
+			err := ev.step(p, i+1, e, emit)
+			unbind(e, saved)
+			return err
+		}
+		if ev.restrictRows != nil && i == ev.restrictStep {
+			rel := ev.db.Rel(s.pred)
+			for _, row := range ev.restrictRows {
+				// Re-fetch the current cost: the Δ row may have been
+				// improved again later in the same round.
+				if cur, ok := rel.Get(row.Args); ok {
+					row = cur
+				}
+				if err := next(row); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+		return ev.scan(&s.atomSpec, e, next)
+	case *negStep:
+		ok, err := ev.negSatisfied(&s.atomSpec, e)
+		if err != nil {
+			return err
+		}
+		if !ok {
+			return nil
+		}
+		return ev.step(p, i+1, e, emit)
+	case *builtinStep:
+		ok, saved, err := ev.builtin(s, e)
+		if err != nil {
+			return err
+		}
+		if !ok {
+			return nil
+		}
+		err = ev.step(p, i+1, e, emit)
+		unbind(e, saved)
+		return err
+	case *aggStep:
+		return ev.aggregate(s, i, ev.aggGroups[i], e, func() error { return ev.step(p, i+1, e, emit) })
+	}
+	return fmt.Errorf("core: unknown step type %T", p.steps[i])
+}
+
+// scan enumerates rows of the atom's relation matching the bound part of
+// the environment. Default-value predicates perform a point lookup
+// (GetOrDefault); the planner guarantees their non-cost args are bound.
+func (ev *evaluator) scan(sp *atomSpec, e *env, f func(relation.Row) error) error {
+	rel := ev.db.Rel(sp.pred)
+	if sp.pi.HasDefault {
+		args := make([]val.T, len(sp.argVar))
+		for j, v := range sp.argVar {
+			if v >= 0 {
+				args[j] = e.vals[v]
+			} else {
+				args[j] = sp.argVal[j]
+			}
+		}
+		row, ok := rel.GetOrDefault(args)
+		if !ok {
+			return nil
+		}
+		return f(row)
+	}
+	pattern := sp.pat
+	for j, v := range sp.argVar {
+		switch {
+		case v < 0:
+			pattern[j] = &sp.argVal[j]
+		case e.bound[v]:
+			pattern[j] = &e.vals[v]
+		default:
+			pattern[j] = nil
+		}
+	}
+	var ferr error
+	rel.Match(pattern, func(row relation.Row) bool {
+		if err := f(row); err != nil {
+			ferr = err
+			return false
+		}
+		return true
+	})
+	return ferr
+}
+
+// bindAtom unifies a row with the atom spec under e, returning the list
+// of variable indices newly bound (for backtracking) and whether the row
+// matches.
+func bindAtom(sp *atomSpec, row relation.Row, e *env) (saved []int, ok bool) {
+	saved = sp.sbuf[:0]
+	for j, v := range sp.argVar {
+		got := row.Args[j]
+		if v < 0 {
+			if !val.Equal(sp.argVal[j], got) {
+				unbind(e, saved)
+				return nil, false
+			}
+			continue
+		}
+		if e.bound[v] {
+			if !val.Equal(e.vals[v], got) {
+				unbind(e, saved)
+				return nil, false
+			}
+			continue
+		}
+		e.vals[v] = got
+		e.bound[v] = true
+		saved = append(saved, v)
+	}
+	if sp.pi.HasCost {
+		got := row.Cost
+		if sp.costVar < 0 {
+			if !lattice.Eq(sp.pi.L, sp.costVal, got) {
+				unbind(e, saved)
+				return nil, false
+			}
+		} else if e.bound[sp.costVar] {
+			if !lattice.Eq(sp.pi.L, e.vals[sp.costVar], got) {
+				unbind(e, saved)
+				return nil, false
+			}
+		} else {
+			e.vals[sp.costVar] = got
+			e.bound[sp.costVar] = true
+			saved = append(saved, sp.costVar)
+		}
+	}
+	return saved, true
+}
+
+func unbind(e *env, saved []int) {
+	for _, v := range saved {
+		e.bound[v] = false
+	}
+}
+
+// negSatisfied implements Definition 3.4's ¬p: satisfied when the fully
+// instantiated atom is absent from the interpretation. For cost
+// predicates the atom includes its cost value; the functional dependency
+// means presence is a single lookup (default-value predicates always have
+// a value — the default — so only an exact cost match refutes ¬p).
+func (ev *evaluator) negSatisfied(sp *atomSpec, e *env) (bool, error) {
+	rel := ev.db.Rel(sp.pred)
+	args := make([]val.T, len(sp.argVar))
+	for j, v := range sp.argVar {
+		if v >= 0 {
+			if !e.bound[v] {
+				return false, fmt.Errorf("core: unbound variable in negation on %s", sp.pred)
+			}
+			args[j] = e.vals[v]
+		} else {
+			args[j] = sp.argVal[j]
+		}
+	}
+	row, present := rel.GetOrDefault(args)
+	if !present {
+		return true, nil
+	}
+	if !sp.pi.HasCost {
+		return false, nil
+	}
+	want := sp.costVal
+	if sp.costVar >= 0 {
+		if !e.bound[sp.costVar] {
+			return false, fmt.Errorf("core: unbound cost variable in negation on %s", sp.pred)
+		}
+		want = e.vals[sp.costVar]
+	}
+	return !lattice.Eq(sp.pi.L, row.Cost, want), nil
+}
+
+// builtin evaluates a comparison or assignment step.
+func (ev *evaluator) builtin(s *builtinStep, e *env) (ok bool, saved []int, err error) {
+	get := func(name ast.Var) (val.T, bool) {
+		idx, ok := s.varIndex(name)
+		if !ok || !e.bound[idx] {
+			return val.T{}, false
+		}
+		return e.vals[idx], true
+	}
+	if s.assign >= 0 && !e.bound[s.assign] {
+		v, err := ast.EvalExpr(s.expr, get)
+		if err != nil {
+			return false, nil, fmt.Errorf("core: builtin %s: %v", s.b, err)
+		}
+		e.vals[s.assign] = v
+		e.bound[s.assign] = true
+		return true, []int{s.assign}, nil
+	}
+	l, err := ast.EvalExpr(s.b.L, get)
+	if err != nil {
+		return false, nil, fmt.Errorf("core: builtin %s: %v", s.b, err)
+	}
+	r, err := ast.EvalExpr(s.b.R, get)
+	if err != nil {
+		return false, nil, fmt.Errorf("core: builtin %s: %v", s.b, err)
+	}
+	res, err := ast.Compare(s.b.Op, l, r)
+	if err != nil {
+		return false, nil, fmt.Errorf("core: builtin %s: %v", s.b, err)
+	}
+	return res, nil, nil
+}

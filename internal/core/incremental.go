@@ -1,0 +1,142 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/ast"
+	"repro/internal/lattice"
+	"repro/internal/relation"
+)
+
+// SolveMore continues a previously computed model with additional EDB
+// facts, without recomputation from scratch. Monotonicity makes
+// insert-only incremental maintenance sound: adding facts can only grow
+// the least model (T_P is monotone in I for positive references and
+// monotone aggregates), so the old model is a valid intermediate
+// interpretation and the Δ-driven fixpoint resumes from it with the new
+// rows as the seed.
+//
+// Soundness requires that every added predicate is used *monotonically*
+// by the program; SolveMore rejects additions to predicates that appear
+// negated, inside a non-monotone (pseudo-monotonic) aggregate, or that
+// are defined by rules, and rejects programs using the well-founded
+// fallback (negation is not insert-monotone). The previous model is not
+// modified; the returned database extends a copy of it.
+func (en *Engine) SolveMore(prev *relation.DB, added *relation.DB) (*relation.DB, Stats, error) {
+	var stats Stats
+	for _, w := range en.wfsComp {
+		if w {
+			return nil, stats, fmt.Errorf("core: SolveMore is unsound with well-founded fallback components (negation is not insert-monotone)")
+		}
+	}
+	addedPreds := map[ast.PredKey]bool{}
+	for _, k := range added.Preds() {
+		if added.Rel(k).Len() > 0 {
+			addedPreds[k] = true
+		}
+	}
+	if err := en.checkInsertMonotone(addedPreds); err != nil {
+		return nil, stats, err
+	}
+
+	db := prev.Clone()
+	changed := newDeltaSet()
+	for k := range addedPreds {
+		rel := db.Rel(k)
+		added.Rel(k).Each(func(row relation.Row) bool {
+			if !rel.Info.HasCost {
+				if rel.InsertJoin(row.Args, lattice.Elem{}) {
+					changed.add(k, row)
+				}
+				return true
+			}
+			if insertEps(rel, row.Args, row.Cost, en.opts.Epsilon) {
+				cur, _ := rel.GetOrDefault(row.Args)
+				changed.add(k, cur)
+			}
+			return true
+		})
+	}
+
+	// Re-run each component bottom-up, seeded with everything that has
+	// changed so far; each component's own derivations join the seed for
+	// the components above it.
+	for ci, c := range en.comps {
+		ps := en.plans[ci]
+		if len(ps) == 0 {
+			continue
+		}
+		// Restrict the seed to predicates this component's plans read.
+		seed := newDeltaSet()
+		touched := false
+		for _, p := range ps {
+			for k := range p.scanSteps {
+				for _, row := range changed.rows[k] {
+					seed.add(k, row)
+					touched = true
+				}
+			}
+			for _, st := range p.steps {
+				if ag, ok := st.(*aggStep); ok {
+					for _, sp := range ag.conj {
+						for _, row := range changed.rows[sp.pred] {
+							seed.add(sp.pred, row)
+							touched = true
+						}
+					}
+				}
+			}
+		}
+		if !touched {
+			continue
+		}
+		stats.Components++
+		err := en.semiNaiveLoop(db, c, ps, &stats, seed, func(k ast.PredKey, row relation.Row) {
+			changed.add(k, row)
+		})
+		if err != nil {
+			return nil, stats, err
+		}
+	}
+	return db, stats, nil
+}
+
+// checkInsertMonotone verifies that the program uses each added predicate
+// only in insert-monotone positions.
+func (en *Engine) checkInsertMonotone(added map[ast.PredKey]bool) error {
+	// Predicates defined only by ground facts are effectively EDB; only
+	// genuinely derived predicates (with non-fact rules) are rejected.
+	derived := map[ast.PredKey]bool{}
+	for _, r := range en.Prog.Rules {
+		if !r.IsFact() {
+			derived[r.Head.Key()] = true
+		}
+	}
+	for k := range added {
+		if derived[k] {
+			return fmt.Errorf("core: SolveMore cannot add facts for derived predicate %s (its value is computed by rules)", k)
+		}
+	}
+	for _, r := range en.Prog.Rules {
+		for _, sg := range r.Body {
+			switch sg := sg.(type) {
+			case *ast.Lit:
+				if sg.Neg && added[sg.Atom.Key()] {
+					return fmt.Errorf("core: SolveMore cannot add facts for %s: rule %q reads it under negation", sg.Atom.Key(), r)
+				}
+			case *ast.Agg:
+				f, ok := lattice.AggregateByName(sg.Func)
+				if !ok {
+					return fmt.Errorf("core: unknown aggregate %s", sg.Func)
+				}
+				for i := range sg.Conj {
+					if added[sg.Conj[i].Key()] && !f.Monotone() {
+						return fmt.Errorf("core: SolveMore cannot add facts for %s: rule %q aggregates it with the non-monotone %s (a grown multiset may shrink the result)",
+							sg.Conj[i].Key(), r, sg.Func)
+					}
+				}
+			}
+		}
+	}
+	return nil
+}

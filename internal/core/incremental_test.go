@@ -1,0 +1,221 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/relation"
+	"repro/internal/val"
+)
+
+func arcDB(en *Engine, arcs [][3]any) *relation.DB {
+	db := relation.NewDB(en.Schemas)
+	for _, a := range arcs {
+		db.Rel("arc/3").InsertJoin(
+			[]val.T{val.Symbol(a[0].(string)), val.Symbol(a[1].(string))},
+			val.Number(float64(a[2].(int))))
+	}
+	return db
+}
+
+// TestSolveMoreShortestPath: adding an arc that shortens routes updates
+// the model exactly as a fresh solve would.
+func TestSolveMoreShortestPath(t *testing.T) {
+	en := mustEngine(t, shortestPathProg, Options{})
+	base, _, err := en.Solve(arcDB(en, [][3]any{
+		{"a", "b", 5}, {"b", "c", 5}, {"a", "c", 20},
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c, _ := costOf(t, base, "s", "a", "c"); c != 10 {
+		t.Fatalf("s(a,c) = %v, want 10", c)
+	}
+	inc, stats, err := en.SolveMore(base, arcDB(en, [][3]any{{"a", "c", 2}, {"c", "d", 1}}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c, _ := costOf(t, inc, "s", "a", "c"); c != 2 {
+		t.Fatalf("incremental s(a,c) = %v, want 2", c)
+	}
+	if c, _ := costOf(t, inc, "s", "a", "d"); c != 3 {
+		t.Fatalf("incremental s(a,d) = %v, want 3", c)
+	}
+	if stats.Derived == 0 {
+		t.Fatal("expected incremental derivations")
+	}
+	// The previous model is untouched.
+	if c, _ := costOf(t, base, "s", "a", "c"); c != 10 {
+		t.Fatal("SolveMore must not mutate the previous model")
+	}
+	// Equivalence with a fresh solve over the union.
+	full, _, err := en.Solve(arcDB(en, [][3]any{
+		{"a", "b", 5}, {"b", "c", 5}, {"a", "c", 2}, {"c", "d", 1},
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !inc.Equal(full, nil) {
+		t.Fatalf("incremental and fresh solves disagree:\n%s\nvs\n%s", inc, full)
+	}
+}
+
+// TestSolveMorePropertyEquivalence: on random graphs, solve(E1) then
+// SolveMore(E2) equals solve(E1 ∪ E2).
+func TestSolveMorePropertyEquivalence(t *testing.T) {
+	en := mustEngine(t, shortestPathProg, Options{})
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 3 + r.Intn(5)
+		all := map[[2]int]int{}
+		edge := func() ([]val.T, val.T, bool) {
+			u, v := r.Intn(n), r.Intn(n)
+			if _, dup := all[[2]int{u, v}]; dup {
+				return nil, val.T{}, false
+			}
+			w := 1 + r.Intn(9)
+			all[[2]int{u, v}] = w
+			return []val.T{val.Symbol(fmt.Sprintf("v%d", u)), val.Symbol(fmt.Sprintf("v%d", v))}, val.Number(float64(w)), true
+		}
+		first := relation.NewDB(en.Schemas)
+		second := relation.NewDB(en.Schemas)
+		union := relation.NewDB(en.Schemas)
+		for i := 0; i < 2+r.Intn(8); i++ {
+			if args, w, ok := edge(); ok {
+				first.Rel("arc/3").InsertJoin(args, w)
+				union.Rel("arc/3").InsertJoin(args, w)
+			}
+		}
+		for i := 0; i < r.Intn(6); i++ {
+			if args, w, ok := edge(); ok {
+				second.Rel("arc/3").InsertJoin(args, w)
+				union.Rel("arc/3").InsertJoin(args, w)
+			}
+		}
+		base, _, err := en.Solve(first)
+		if err != nil {
+			t.Errorf("seed %d: %v", seed, err)
+			return false
+		}
+		inc, _, err := en.SolveMore(base, second)
+		if err != nil {
+			t.Errorf("seed %d: %v", seed, err)
+			return false
+		}
+		full, _, err := en.Solve(union)
+		if err != nil {
+			t.Errorf("seed %d: %v", seed, err)
+			return false
+		}
+		if !inc.Equal(full, nil) {
+			t.Errorf("seed %d: incremental ≠ fresh\nincremental:\n%s\nfresh:\n%s", seed, inc, full)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestSolveMoreCompanyControl: sum is monotone, so ownership networks
+// support incremental share acquisitions.
+func TestSolveMoreCompanyControl(t *testing.T) {
+	en := mustEngine(t, companyControlProg, Options{})
+	mk := func(shares [][3]any) *relation.DB {
+		db := relation.NewDB(en.Schemas)
+		for _, s := range shares {
+			db.Rel("s/3").InsertJoin(
+				[]val.T{val.Symbol(s[0].(string)), val.Symbol(s[1].(string))},
+				val.Number(s[2].(float64)))
+		}
+		return db
+	}
+	base, _, err := en.Solve(mk([][3]any{{"a", "b", 0.4}, {"b", "c", 0.6}}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hasTuple(base, "c", "a", "b") {
+		t.Fatal("0.4 is not control")
+	}
+	// a buys 0.2 more of b (a separate intermediary records it, so the
+	// cost FD stays intact: model it as a distinct holding company).
+	inc, _, err := en.SolveMore(base, mk([][3]any{{"a2", "b", 0.2}, {"a", "a2", 0.9}}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !hasTuple(inc, "c", "a", "b") {
+		t.Fatal("a + a2 control b incrementally")
+	}
+	if !hasTuple(inc, "c", "a", "c") {
+		t.Fatal("control of b unlocks c")
+	}
+}
+
+// TestSolveMoreRejections: negation, pseudo-monotone aggregation and
+// derived predicates are not insert-monotone.
+func TestSolveMoreRejections(t *testing.T) {
+	// Negated predicate.
+	en := mustEngine(t, `p(X) :- q(X), not blocked(X).`, Options{})
+	base, _, err := en.Solve(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	add := relation.NewDB(en.Schemas)
+	add.Rel("blocked/1").InsertJoin([]val.T{val.Symbol("x")}, val.T{})
+	if _, _, err := en.SolveMore(base, add); err == nil || !strings.Contains(err.Error(), "negation") {
+		t.Fatalf("err = %v, want negation rejection", err)
+	}
+	// Pseudo-monotone aggregate input.
+	en2 := mustEngine(t, circuitProg, Options{})
+	base2, _, err := en2.Solve(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	add2 := relation.NewDB(en2.Schemas)
+	add2.Rel("connect/2").InsertJoin([]val.T{val.Symbol("g"), val.Symbol("w")}, val.T{})
+	if _, _, err := en2.SolveMore(base2, add2); err == nil || !strings.Contains(err.Error(), "non-monotone") {
+		t.Fatalf("err = %v, want pseudo-monotone rejection", err)
+	}
+	// Derived predicate.
+	en3 := mustEngine(t, shortestPathProg, Options{})
+	base3, _, err := en3.Solve(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	add3 := relation.NewDB(en3.Schemas)
+	add3.Rel("s/3").InsertJoin([]val.T{val.Symbol("a"), val.Symbol("b")}, val.Number(1))
+	if _, _, err := en3.SolveMore(base3, add3); err == nil || !strings.Contains(err.Error(), "derived") {
+		t.Fatalf("err = %v, want derived-predicate rejection", err)
+	}
+}
+
+// TestSolveMorePartyGuests: count is monotone, so new acquaintances can
+// arrive incrementally.
+func TestSolveMorePartyGuests(t *testing.T) {
+	en := mustEngine(t, partyProg, Options{})
+	base, _, err := en.Solve(func() *relation.DB {
+		db := relation.NewDB(en.Schemas)
+		db.Rel("requires/2").InsertJoin([]val.T{val.Symbol("x")}, val.Number(1))
+		db.Rel("requires/2").InsertJoin([]val.T{val.Symbol("y")}, val.Number(0))
+		return db
+	}())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hasTuple(base, "coming", "x") {
+		t.Fatal("x knows nobody yet")
+	}
+	add := relation.NewDB(en.Schemas)
+	add.Rel("knows/2").InsertJoin([]val.T{val.Symbol("x"), val.Symbol("y")}, val.T{})
+	inc, _, err := en.SolveMore(base, add)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !hasTuple(inc, "coming", "x") {
+		t.Fatal("meeting y gets x over the threshold")
+	}
+}

@@ -1,0 +1,93 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/lattice"
+	"repro/internal/relation"
+)
+
+// TP computes a single application of the immediate consequence operator
+// T_P (Definition 3.7) for component ci, reading J ∪ I from db, and
+// returns a fresh database holding only the derived head atoms. Default
+// values (J_∅) are virtual and thus implicitly joined.
+func (en *Engine) TP(db *relation.DB, ci int) (*relation.DB, error) {
+	out := relation.NewDB(en.Schemas)
+	ev := &evaluator{db: db}
+	for _, p := range en.plans[ci] {
+		p := p
+		err := ev.run(p, func(e *env) error {
+			args, cost, err := headTuple(p, e)
+			if err != nil {
+				return err
+			}
+			return out.Rel(p.head.pred).InsertStrict(args, cost)
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// ComponentCount returns the number of program components (bottom-up
+// order), for use with TP.
+func (en *Engine) ComponentCount() int { return len(en.comps) }
+
+// ComponentPreds returns the predicates of component ci.
+func (en *Engine) ComponentPreds(ci int) []string {
+	var out []string
+	for _, k := range en.comps[ci].Preds {
+		out = append(out, string(k))
+	}
+	return out
+}
+
+// IsModel reports whether db satisfies every ground instance of every
+// rule (Definition 3.5): whenever a body is satisfied, the corresponding
+// head atom — with exactly the derived cost — is present.
+func (en *Engine) IsModel(db *relation.DB) (bool, error) {
+	return en.checkRules(db, func(l lattice.Lattice, derived, present lattice.Elem) bool {
+		return lattice.Eq(l, derived, present)
+	})
+}
+
+// IsPreModel reports whether db is a pre-model (Definition 3.5): whenever
+// a body is satisfied, the head atom is present with a cost ⊒ the derived
+// one.
+func (en *Engine) IsPreModel(db *relation.DB) (bool, error) {
+	return en.checkRules(db, func(l lattice.Lattice, derived, present lattice.Elem) bool {
+		return l.Leq(derived, present)
+	})
+}
+
+func (en *Engine) checkRules(db *relation.DB, costOK func(lattice.Lattice, lattice.Elem, lattice.Elem) bool) (bool, error) {
+	violated := fmt.Errorf("violated")
+	for ci := range en.plans {
+		ev := &evaluator{db: db}
+		for _, p := range en.plans[ci] {
+			p := p
+			err := ev.run(p, func(e *env) error {
+				args, cost, err := headTuple(p, e)
+				if err != nil {
+					return err
+				}
+				row, ok := db.Rel(p.head.pred).GetOrDefault(args)
+				if !ok {
+					return violated
+				}
+				if p.head.pi.HasCost && !costOK(p.head.pi.L, cost, row.Cost) {
+					return violated
+				}
+				return nil
+			})
+			if err == violated {
+				return false, nil
+			}
+			if err != nil {
+				return false, err
+			}
+		}
+	}
+	return true, nil
+}

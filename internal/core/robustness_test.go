@@ -1,0 +1,174 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/parser"
+	"repro/internal/relation"
+	"repro/internal/val"
+)
+
+// TestSection61LimitTrend approximates §6.1's infinite-relation
+// discussion with a deep halving chain: the minimum over lengths
+// 1, 1/2, 1/4, ... approaches the glb 0, which is not itself a member.
+// Any finite prefix computes exactly; the trend to the glb is visible as
+// the chain deepens.
+func TestSection61LimitTrend(t *testing.T) {
+	src := `
+.cost w/2 : minreal.
+.cost shortest/1 : minreal.
+shortest(C) :- C ?= min D : w(X, D).
+`
+	v := 1.0
+	for k := 0; k <= 40; k++ {
+		src += "w(n" + itoa(k) + ", " + val.Number(v).String() + ").\n"
+		v /= 2
+	}
+	db := solve(t, src, Options{})
+	c, ok := costOf(t, db, "shortest")
+	if !ok {
+		t.Fatal("shortest missing")
+	}
+	if c != math.Pow(2, -40) {
+		t.Fatalf("shortest = %v, want 2^-40", c)
+	}
+	if c == 0 {
+		t.Fatal("any finite prefix stays strictly above the glb 0 (§6.1)")
+	}
+}
+
+// TestNegativeCycleDiverges: with a reachable negative cycle the s costs
+// descend forever; the round bound reports it instead of looping (§2.3.3
+// concedes safety cannot guarantee termination).
+func TestNegativeCycleDiverges(t *testing.T) {
+	src := shortestPathProg + `
+arc(a, b, 1).
+arc(b, a, -2).
+`
+	en := mustEngine(t, src, Options{MaxRounds: 500})
+	_, _, err := en.Solve(nil)
+	if err == nil || !strings.Contains(err.Error(), "fixpoint") {
+		t.Fatalf("err = %v, want a round-bound failure", err)
+	}
+	// Bellman-Ford flags the same input.
+}
+
+// TestStrictConflictsAtRuntime: a cost-inconsistent program slips past
+// SkipChecks but the strict naive evaluation reports the conflicting
+// derivation (Definition 2.6's failure mode, observed dynamically).
+func TestStrictConflictsAtRuntime(t *testing.T) {
+	src := `
+.cost p/2 : sumreal.
+.cost q/2 : sumreal.
+.cost r/2 : sumreal.
+q(x, 1).
+r(x, 2).
+p(X, C) :- q(X, C).
+p(X, C) :- r(X, C).
+`
+	prog, err := parser.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Conflict-freedom rejects it statically.
+	if _, err := New(prog, Options{}); err == nil || !strings.Contains(err.Error(), "conflicting costs") {
+		t.Fatalf("static check: %v", err)
+	}
+	// With checks skipped, strict naive evaluation catches it at runtime.
+	en, err := New(prog, Options{SkipChecks: true, Strategy: Naive, StrictConflicts: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _, err = en.Solve(nil)
+	var ce *relation.ConflictError
+	if !errors.As(err, &ce) {
+		t.Fatalf("err = %v, want a ConflictError", err)
+	}
+	// Without strictness the engine silently joins (documented hazard of
+	// SkipChecks).
+	en2, err := New(prog, Options{SkipChecks: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := en2.Solve(nil); err != nil {
+		t.Fatalf("join mode must not error: %v", err)
+	}
+}
+
+// TestNaiveSeedsEDBForCDBPreds: EDB rows supplied for a predicate that
+// also has rules must survive the naive strategy's per-round relation
+// replacement.
+func TestNaiveSeedsEDBForCDBPreds(t *testing.T) {
+	src := `
+.cost s/3 : minreal.
+.cost arc/3 : minreal.
+s(X, Y, C) :- arc(X, Y, C).
+`
+	en := mustEngine(t, src, Options{Strategy: Naive})
+	edb := relation.NewDB(en.Schemas)
+	edb.Rel("arc/3").InsertJoin([]val.T{val.Symbol("a"), val.Symbol("b")}, val.Number(1))
+	// Seed an s tuple directly (an externally asserted shortest path).
+	edb.Rel("s/3").InsertJoin([]val.T{val.Symbol("x"), val.Symbol("y")}, val.Number(7))
+	db, _, err := en.Solve(edb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c, ok := costOf(t, db, "s", "x", "y"); !ok || c != 7 {
+		t.Fatalf("seeded s(x,y) = %v (%v), want 7", c, ok)
+	}
+	if c, _ := costOf(t, db, "s", "a", "b"); c != 1 {
+		t.Fatalf("derived s(a,b) = %v, want 1", c)
+	}
+}
+
+// TestMaxRoundsHonored: tiny bounds trip predictably.
+func TestMaxRoundsHonored(t *testing.T) {
+	src := shortestPathProg
+	for i := 0; i < 20; i++ {
+		src += "arc(n" + itoa(i) + ", n" + itoa(i+1) + ", 1).\n"
+	}
+	en := mustEngine(t, src, Options{MaxRounds: 3})
+	if _, _, err := en.Solve(nil); err == nil {
+		t.Fatal("a 20-hop chain cannot close in 3 rounds")
+	}
+}
+
+// TestDomainEscapeReported: deriving a cost outside the declared lattice
+// (a negative sumreal) is an evaluation error, not a silent wrap.
+func TestDomainEscapeReported(t *testing.T) {
+	src := `
+.cost q/2 : sumreal.
+.cost p/2 : sumreal.
+q(x, 1).
+p(X, C) :- q(X, D), C = D - 5.
+`
+	prog, err := parser.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	en, err := New(prog, Options{SkipChecks: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _, err = en.Solve(nil)
+	if err == nil || !strings.Contains(err.Error(), "outside lattice") {
+		t.Fatalf("err = %v, want a domain-escape report", err)
+	}
+}
+
+// TestPropositionalPredicates: zero-arity predicates flow through the
+// whole pipeline.
+func TestPropositionalPredicates(t *testing.T) {
+	src := `
+go.
+p(a) :- go.
+q :- p(X).
+`
+	db := solve(t, src, Options{})
+	if !hasTuple(db, "q") || !hasTuple(db, "p", "a") {
+		t.Fatalf("propositional flow broken:\n%s", db)
+	}
+}

@@ -1,0 +1,110 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/val"
+)
+
+func TestExplainShortestPath(t *testing.T) {
+	src := shortestPathProg + `
+arc(a, b, 1).
+arc(b, c, 2).
+arc(a, c, 9).
+`
+	en := mustEngine(t, src, Options{Trace: true})
+	db, _, err := en.Solve(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	args := []val.T{val.Symbol("a"), val.Symbol("c")}
+	d, ok := en.Explain("s", args)
+	if !ok {
+		t.Fatal("no derivation recorded for s(a,c)")
+	}
+	if !strings.Contains(d.Rule, "?= min") {
+		t.Fatalf("s must come from the min rule, got %q", d.Rule)
+	}
+	found := false
+	for _, sup := range d.Supports {
+		if strings.Contains(sup.String(), "min") && strings.Contains(sup.String(), "3") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("aggregate support missing instantiated result: %v", d.Supports)
+	}
+
+	// path(a, b, c, 3) comes from rule 2, supported by s(a,b,1) and
+	// arc(b,c,2) and the instantiated sum.
+	pd, ok := en.Explain("path", []val.T{val.Symbol("a"), val.Symbol("b"), val.Symbol("c")})
+	if !ok {
+		t.Fatal("no derivation for path(a,b,c)")
+	}
+	joined := ""
+	for _, sup := range pd.Supports {
+		joined += sup.String() + "; "
+	}
+	for _, want := range []string{"s(a, b, 1)", "arc(b, c, 2)", "3 = (1 + 2)"} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("path supports missing %q: %s", want, joined)
+		}
+	}
+
+	// The tree renderer walks derived supports down to facts.
+	tree := en.ExplainTree(db, "s", args, 5)
+	for _, want := range []string{"s(a, c, 3)", "[fact]", "arc(a, b, 1)"} {
+		if !strings.Contains(tree, want) {
+			t.Errorf("tree missing %q:\n%s", want, tree)
+		}
+	}
+}
+
+func TestExplainDisabledWithoutTrace(t *testing.T) {
+	en := mustEngine(t, shortestPathProg+"arc(a, b, 1).\n", Options{})
+	if _, _, err := en.Solve(nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := en.Explain("s", []val.T{val.Symbol("a"), val.Symbol("b")}); ok {
+		t.Fatal("tracing must be opt-in")
+	}
+}
+
+func TestExplainNegationAndBuiltins(t *testing.T) {
+	src := `
+node(a). node(b).
+e(a, b).
+isolated(X) :- node(X), not linked(X).
+linked(X) :- e(X, Y).
+linked(Y) :- e(X, Y).
+`
+	en := mustEngine(t, src, Options{Trace: true})
+	db, _, err := en.Solve(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = db
+	if hasTuple(db, "isolated", "a") {
+		t.Fatal("a is linked")
+	}
+	// Negative supports render with "not".
+	d, ok := en.Explain("linked", []val.T{val.Symbol("b")})
+	if !ok {
+		t.Fatal("no derivation for linked(b)")
+	}
+	if !strings.Contains(d.Supports[0].String(), "e(a, b)") {
+		t.Fatalf("supports = %v", d.Supports)
+	}
+}
+
+func TestExplainNaiveStrategy(t *testing.T) {
+	en := mustEngine(t, shortestPathProg+"arc(a, b, 4).\n", Options{Strategy: Naive, Trace: true})
+	if _, _, err := en.Solve(nil); err != nil {
+		t.Fatal(err)
+	}
+	d, ok := en.Explain("s", []val.T{val.Symbol("a"), val.Symbol("b")})
+	if !ok || !strings.Contains(d.Rule, "min") {
+		t.Fatalf("naive tracing broken: %v %v", d, ok)
+	}
+}

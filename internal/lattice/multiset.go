@@ -1,0 +1,71 @@
+package lattice
+
+// MultisetLeq reports whether the finite multiset a is ⊑_D the finite
+// multiset b, under the extension of ⊑_D to multisets from §4.1 of the
+// paper: a ⊑ b iff there is an injective map m from elements of a to
+// elements of b with x ⊑_D m(x) for every x ∈ a.
+//
+// The injection is found with an augmenting-path bipartite matching, so the
+// test is exact (not a greedy approximation). Restricted to finite
+// multisets, the relation is a partial order, as the paper notes.
+func MultisetLeq(l Lattice, a, b []Elem) bool {
+	if len(a) > len(b) {
+		return false
+	}
+	// adj[i] lists the indices j of b with a[i] ⊑ b[j].
+	adj := make([][]int, len(a))
+	for i, x := range a {
+		for j, y := range b {
+			if l.Leq(x, y) {
+				adj[i] = append(adj[i], j)
+			}
+		}
+		if len(adj[i]) == 0 {
+			return false
+		}
+	}
+	matchB := make([]int, len(b))
+	for j := range matchB {
+		matchB[j] = -1
+	}
+	var try func(i int, seen []bool) bool
+	try = func(i int, seen []bool) bool {
+		for _, j := range adj[i] {
+			if seen[j] {
+				continue
+			}
+			seen[j] = true
+			if matchB[j] == -1 || try(matchB[j], seen) {
+				matchB[j] = i
+				return true
+			}
+		}
+		return false
+	}
+	for i := range a {
+		if !try(i, make([]bool, len(b))) {
+			return false
+		}
+	}
+	return true
+}
+
+// JoinAll folds Join over a nonempty slice; on an empty slice it returns
+// the lattice bottom (the identity of ⊔).
+func JoinAll(l Lattice, xs []Elem) Elem {
+	acc := l.Bottom()
+	for _, x := range xs {
+		acc = l.Join(acc, x)
+	}
+	return acc
+}
+
+// MeetAll folds Meet over a nonempty slice; on an empty slice it returns
+// the lattice top (the identity of ⊓).
+func MeetAll(l Lattice, xs []Elem) Elem {
+	acc := l.Top()
+	for _, x := range xs {
+		acc = l.Meet(acc, x)
+	}
+	return acc
+}

@@ -1,0 +1,101 @@
+package monotone
+
+import (
+	"fmt"
+
+	"repro/internal/ast"
+	"repro/internal/lattice"
+)
+
+// CheckRMonotonic implements a syntactic test for the r-monotonicity of
+// Mumick et al. (Definition 5.1, as restated in §5.2): adding tuples to
+// the relations of the rule's ordinary or aggregate subgoals can only add
+// head tuples. The test is conservative (sufficient, not complete):
+//
+//   - no negative literals (a new tuple in a negated relation invalidates
+//     derivations);
+//   - no aggregate result may reach the head (Mumick et al. "cannot have
+//     the result of an aggregation as part of a resulting head tuple");
+//   - every other use of an aggregate result must be a comparison against
+//     a ground constant that stays satisfied as the aggregate grows (e.g.
+//     "N > 0.5" for sum; Example 4.3's "N >= K" with K drawn from a
+//     relation is rejected — the paper notes it is monotonic but not
+//     r-monotonic).
+func CheckRMonotonic(r *ast.Rule, s ast.Schemas) error {
+	aggDirs := map[ast.Var]dir{}
+	for _, sg := range r.Body {
+		switch sg := sg.(type) {
+		case *ast.Lit:
+			if sg.Neg {
+				return fmt.Errorf("monotone: rule %q is not r-monotonic: negative subgoal %s", r, sg)
+			}
+		case *ast.Agg:
+			f, ok := lattice.AggregateByName(sg.Func)
+			if !ok {
+				return fmt.Errorf("monotone: rule %q: unknown aggregate %s", r, sg.Func)
+			}
+			if !f.Monotone() {
+				return fmt.Errorf("monotone: rule %q is not r-monotonic: non-monotone aggregate %s", r, sg.Func)
+			}
+			aggDirs[sg.Result] = latticeDir(f.Range())
+		}
+	}
+	if len(aggDirs) == 0 {
+		return nil // plain positive rules are r-monotonic
+	}
+	for _, v := range r.Head.Vars(nil) {
+		if _, isAgg := aggDirs[v]; isAgg {
+			return fmt.Errorf("monotone: rule %q is not r-monotonic: aggregate result %s appears in the head", r, v)
+		}
+	}
+	isGround := func(e ast.Expr) bool { return len(e.Vars(nil)) == 0 }
+	for _, sg := range r.Body {
+		b, ok := sg.(*ast.Builtin)
+		if !ok {
+			continue
+		}
+		check := func(v ast.Var, side dir, other ast.Expr) error {
+			d, isAgg := aggDirs[v]
+			if !isAgg {
+				return nil
+			}
+			if !isGround(other) {
+				return fmt.Errorf("monotone: rule %q is not r-monotonic: aggregate result %s compared against non-constant %s", r, v, other)
+			}
+			okDir := false
+			switch b.Op {
+			case ast.OpGt, ast.OpGe:
+				okDir = side == dirUp && d == dirUp || side == dirDown && d == dirDown
+			case ast.OpLt, ast.OpLe:
+				okDir = side == dirUp && d == dirDown || side == dirDown && d == dirUp
+			}
+			// side: dirUp means v is on the left of the comparison.
+			if !okDir {
+				return fmt.Errorf("monotone: rule %q is not r-monotonic: growth of %s can invalidate %s", r, v, b)
+			}
+			return nil
+		}
+		if lv, ok := b.L.(ast.VarExpr); ok {
+			if err := check(lv.V, dirUp, b.R); err != nil {
+				return err
+			}
+		}
+		if rv, ok := b.R.(ast.VarExpr); ok {
+			if err := check(rv.V, dirDown, b.L); err != nil {
+				return err
+			}
+		}
+		// Aggregate results buried inside arithmetic are rejected.
+		for _, e := range []ast.Expr{b.L, b.R} {
+			if _, isVarExpr := e.(ast.VarExpr); isVarExpr {
+				continue
+			}
+			for _, v := range e.Vars(nil) {
+				if _, isAgg := aggDirs[v]; isAgg {
+					return fmt.Errorf("monotone: rule %q is not r-monotonic: aggregate result %s used in arithmetic", r, v)
+				}
+			}
+		}
+	}
+	return nil
+}

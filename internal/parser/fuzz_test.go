@@ -1,0 +1,49 @@
+package parser
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParse checks that the parser never panics and that accepted inputs
+// survive a print/reparse round trip. `go test` exercises the seed
+// corpus; `go test -fuzz=FuzzParse ./internal/parser` explores further.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"p(a).",
+		"p(X) :- q(X).",
+		".cost s/3 : minreal.\ns(X, Y, C) :- C ?= min D : path(X, Z, Y, D).",
+		".default t/2 = 0.",
+		".ic :- arc(direct, Z, C).",
+		"t(G, C) :- gate(G, and), C = and D : [connect(G, W), t(W, D)].",
+		"p(X, C) :- q(X, A, B), C = (A + B) * 2 - A / 2.",
+		`str(n, "hello \"quoted\" world").`,
+		"set(g, {a, 1, {b}}).",
+		"w(x, -2.5). lim(a, inf). neg(a, -inf).",
+		"coming(X) :- requires(X, K), N = count : kc(X, Y), N >= K.",
+		"win(X) :- move(X, Y), not win(Y).",
+		"% just a comment\n",
+		"p(X) :- X != 3, X < 5, X <= 5, X > 1, X >= 1.",
+		"p :- q.",
+		"p() :- q().",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		prog, err := Parse(src)
+		if err != nil {
+			return // rejection is fine; panics are not
+		}
+		text := prog.String()
+		prog2, err := Parse(text)
+		if err != nil {
+			t.Fatalf("printed form fails to reparse: %v\ninput: %q\nprinted: %q", err, src, text)
+		}
+		if text2 := prog2.String(); text2 != text {
+			// Printing must be idempotent even if it normalizes the input.
+			t.Fatalf("printing not idempotent:\n%q\nvs\n%q", text, text2)
+		}
+		_ = strings.TrimSpace(text)
+	})
+}

@@ -1,0 +1,511 @@
+package parser
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+
+	"repro/internal/ast"
+	"repro/internal/lattice"
+	"repro/internal/val"
+)
+
+// Parse parses a complete program.
+func Parse(src string) (*ast.Program, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, fmt.Errorf("parser: %v", err)
+	}
+	p := &parser{toks: toks}
+	prog := &ast.Program{}
+	for !p.at(tokEOF) {
+		if err := p.statement(prog); err != nil {
+			return nil, fmt.Errorf("parser: %v", err)
+		}
+	}
+	return prog, nil
+}
+
+// ParseRule parses a single rule or fact (without the trailing newline
+// requirements of a full program).
+func ParseRule(src string) (*ast.Rule, error) {
+	prog, err := Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	if len(prog.Rules) != 1 || len(prog.Constraints) != 0 ||
+		len(prog.CostDecls) != 0 || len(prog.DefaultDecl) != 0 {
+		return nil, fmt.Errorf("parser: expected exactly one rule")
+	}
+	return prog.Rules[0], nil
+}
+
+type parser struct {
+	toks []token
+	pos  int
+}
+
+func (p *parser) cur() token  { return p.toks[p.pos] }
+func (p *parser) next() token { t := p.toks[p.pos]; p.pos++; return t }
+
+func (p *parser) at(k tokKind) bool { return p.cur().kind == k }
+
+func (p *parser) accept(k tokKind) bool {
+	if p.at(k) {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expect(k tokKind) (token, error) {
+	if !p.at(k) {
+		return token{}, p.errf("expected %s, found %s", tokNames[k], p.cur())
+	}
+	return p.next(), nil
+}
+
+func (p *parser) errf(format string, args ...any) error {
+	t := p.cur()
+	return fmt.Errorf("%d:%d: %s", t.line, t.col, fmt.Sprintf(format, args...))
+}
+
+func (p *parser) statement(prog *ast.Program) error {
+	switch {
+	case p.at(tokDirective):
+		return p.directive(prog)
+	case p.at(tokImplies):
+		p.next()
+		body, err := p.body()
+		if err != nil {
+			return err
+		}
+		if _, err := p.expect(tokDot); err != nil {
+			return err
+		}
+		prog.Constraints = append(prog.Constraints, &ast.Constraint{Body: body})
+		return nil
+	default:
+		head, err := p.atom()
+		if err != nil {
+			return err
+		}
+		r := &ast.Rule{Head: head}
+		if p.accept(tokImplies) {
+			body, err := p.body()
+			if err != nil {
+				return err
+			}
+			r.Body = body
+		}
+		if _, err := p.expect(tokDot); err != nil {
+			return err
+		}
+		prog.Rules = append(prog.Rules, r)
+		return nil
+	}
+}
+
+func (p *parser) directive(prog *ast.Program) error {
+	d := p.next()
+	switch d.text {
+	case "cost":
+		pk, err := p.predSpec()
+		if err != nil {
+			return err
+		}
+		if _, err := p.expect(tokColon); err != nil {
+			return err
+		}
+		lat, err := p.expect(tokIdent)
+		if err != nil {
+			return err
+		}
+		if _, err := p.expect(tokDot); err != nil {
+			return err
+		}
+		prog.CostDecls = append(prog.CostDecls, ast.CostDecl{Pred: pk, Lattice: lat.text})
+		return nil
+	case "default":
+		pk, err := p.predSpec()
+		if err != nil {
+			return err
+		}
+		if _, err := p.expect(tokEq); err != nil {
+			return err
+		}
+		c, err := p.constant()
+		if err != nil {
+			return err
+		}
+		if _, err := p.expect(tokDot); err != nil {
+			return err
+		}
+		prog.DefaultDecl = append(prog.DefaultDecl, ast.DefaultDecl{Pred: pk, Value: c})
+		return nil
+	case "ic":
+		if _, err := p.expect(tokImplies); err != nil {
+			return err
+		}
+		body, err := p.body()
+		if err != nil {
+			return err
+		}
+		if _, err := p.expect(tokDot); err != nil {
+			return err
+		}
+		prog.Constraints = append(prog.Constraints, &ast.Constraint{Body: body})
+		return nil
+	}
+	return p.errf("unknown directive .%s", d.text)
+}
+
+// predSpec parses "name/arity".
+func (p *parser) predSpec() (ast.PredKey, error) {
+	name, err := p.expect(tokIdent)
+	if err != nil {
+		return "", err
+	}
+	if _, err := p.expect(tokSlash); err != nil {
+		return "", err
+	}
+	ar, err := p.expect(tokNumber)
+	if err != nil {
+		return "", err
+	}
+	n, err := strconv.Atoi(ar.text)
+	if err != nil || n < 0 {
+		return "", p.errf("bad arity %q", ar.text)
+	}
+	return ast.MakePredKey(name.text, n), nil
+}
+
+func (p *parser) body() ([]ast.Subgoal, error) {
+	var out []ast.Subgoal
+	for {
+		s, err := p.subgoal()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, s)
+		if !p.accept(tokComma) {
+			return out, nil
+		}
+	}
+}
+
+func (p *parser) subgoal() (ast.Subgoal, error) {
+	// Negative literal.
+	if p.at(tokIdent) && p.cur().text == "not" && p.toks[p.pos+1].kind == tokIdent {
+		p.next()
+		a, err := p.atom()
+		if err != nil {
+			return nil, err
+		}
+		return &ast.Lit{Atom: a, Neg: true}, nil
+	}
+	// Aggregate subgoal: VAR (= | ?=) aggname [VAR] ':' ...
+	if p.at(tokVar) {
+		if g, ok, err := p.tryAggregate(); err != nil {
+			return nil, err
+		} else if ok {
+			return g, nil
+		}
+	}
+	// Positive atom: IDENT '(' or bare IDENT not followed by an operator.
+	if p.at(tokIdent) {
+		nk := p.toks[p.pos+1].kind
+		if nk == tokLParen {
+			a, err := p.atom()
+			if err != nil {
+				return nil, err
+			}
+			return &ast.Lit{Atom: a}, nil
+		}
+		if !isExprFollow(nk) {
+			a, err := p.atom()
+			if err != nil {
+				return nil, err
+			}
+			return &ast.Lit{Atom: a}, nil
+		}
+	}
+	// Otherwise a built-in comparison.
+	return p.builtin()
+}
+
+// isExprFollow reports whether a token can continue an expression after an
+// initial identifier (treating the identifier as a constant operand).
+func isExprFollow(k tokKind) bool {
+	switch k {
+	case tokEq, tokNe, tokLt, tokLe, tokGt, tokGe, tokPlus, tokMinus, tokStar, tokSlash:
+		return true
+	}
+	return false
+}
+
+// tryAggregate attempts to parse an aggregate subgoal at the current
+// position, backtracking if the shape does not match.
+func (p *parser) tryAggregate() (*ast.Agg, bool, error) {
+	save := p.pos
+	res := ast.Var(p.next().text)
+	var restricted bool
+	switch {
+	case p.accept(tokQEq):
+		restricted = true
+	case p.accept(tokEq):
+	default:
+		p.pos = save
+		return nil, false, nil
+	}
+	if !p.at(tokIdent) || !lattice.IsAggregateName(p.cur().text) {
+		p.pos = save
+		return nil, false, nil
+	}
+	fn := p.next().text
+	var ms ast.Var
+	if p.at(tokVar) {
+		ms = ast.Var(p.next().text)
+	}
+	if !p.accept(tokColon) {
+		// Not an aggregate after all (e.g. "C = min" where min is a
+		// constant? — no: reject with a clear error, since aggregate
+		// names are reserved in this position).
+		p.pos = save
+		return nil, false, nil
+	}
+	var conj []ast.Atom
+	if p.accept(tokLBracket) {
+		for {
+			a, err := p.atom()
+			if err != nil {
+				return nil, false, err
+			}
+			conj = append(conj, a)
+			if !p.accept(tokComma) {
+				break
+			}
+		}
+		if _, err := p.expect(tokRBracket); err != nil {
+			return nil, false, err
+		}
+	} else {
+		a, err := p.atom()
+		if err != nil {
+			return nil, false, err
+		}
+		conj = append(conj, a)
+	}
+	return &ast.Agg{Result: res, Restricted: restricted, Func: fn, MultisetVar: ms, Conj: conj}, true, nil
+}
+
+func (p *parser) atom() (ast.Atom, error) {
+	name, err := p.expect(tokIdent)
+	if err != nil {
+		return ast.Atom{}, err
+	}
+	a := ast.Atom{Pred: name.text}
+	if !p.accept(tokLParen) {
+		return a, nil // propositional atom
+	}
+	if p.accept(tokRParen) {
+		return a, nil
+	}
+	for {
+		t, err := p.term()
+		if err != nil {
+			return ast.Atom{}, err
+		}
+		a.Args = append(a.Args, t)
+		if !p.accept(tokComma) {
+			break
+		}
+	}
+	if _, err := p.expect(tokRParen); err != nil {
+		return ast.Atom{}, err
+	}
+	return a, nil
+}
+
+func (p *parser) term() (ast.Term, error) {
+	switch {
+	case p.at(tokVar):
+		return ast.Var(p.next().text), nil
+	default:
+		c, err := p.constant()
+		if err != nil {
+			return nil, err
+		}
+		return ast.Const{V: c}, nil
+	}
+}
+
+// constant parses a ground constant: symbol, number (with optional sign,
+// "inf" for ∞), string, or set literal.
+func (p *parser) constant() (val.T, error) {
+	switch {
+	case p.at(tokIdent):
+		t := p.next()
+		if t.text == "inf" {
+			return val.Number(math.Inf(1)), nil
+		}
+		return val.Symbol(t.text), nil
+	case p.at(tokNumber):
+		return val.ParseNumber(p.next().text)
+	case p.at(tokMinus):
+		p.next()
+		if p.at(tokIdent) && p.cur().text == "inf" {
+			p.next()
+			return val.Number(math.Inf(-1)), nil
+		}
+		t, err := p.expect(tokNumber)
+		if err != nil {
+			return val.T{}, err
+		}
+		v, err := val.ParseNumber(t.text)
+		if err != nil {
+			return val.T{}, err
+		}
+		return val.Number(-v.N), nil
+	case p.at(tokString):
+		return val.String(p.next().text), nil
+	case p.at(tokLBrace):
+		p.next()
+		var elems []val.T
+		if !p.at(tokRBrace) {
+			for {
+				c, err := p.constant()
+				if err != nil {
+					return val.T{}, err
+				}
+				elems = append(elems, c)
+				if !p.accept(tokComma) {
+					break
+				}
+			}
+		}
+		if _, err := p.expect(tokRBrace); err != nil {
+			return val.T{}, err
+		}
+		return val.SetOf(elems...), nil
+	}
+	return val.T{}, p.errf("expected a constant, found %s", p.cur())
+}
+
+func (p *parser) builtin() (*ast.Builtin, error) {
+	l, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	var op ast.CmpOp
+	switch {
+	case p.accept(tokEq):
+		op = ast.OpEq
+	case p.accept(tokNe):
+		op = ast.OpNe
+	case p.accept(tokLt):
+		op = ast.OpLt
+	case p.accept(tokLe):
+		op = ast.OpLe
+	case p.accept(tokGt):
+		op = ast.OpGt
+	case p.accept(tokGe):
+		op = ast.OpGe
+	default:
+		return nil, p.errf("expected a comparison operator, found %s", p.cur())
+	}
+	r, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	return &ast.Builtin{Op: op, L: l, R: r}, nil
+}
+
+// expr parses additive expressions with the usual precedence.
+func (p *parser) expr() (ast.Expr, error) {
+	l, err := p.mulExpr()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		var op ast.ArithOp
+		switch {
+		case p.accept(tokPlus):
+			op = ast.OpAdd
+		case p.accept(tokMinus):
+			op = ast.OpSub
+		default:
+			return l, nil
+		}
+		r, err := p.mulExpr()
+		if err != nil {
+			return nil, err
+		}
+		l = &ast.BinExpr{Op: op, L: l, R: r}
+	}
+}
+
+func (p *parser) mulExpr() (ast.Expr, error) {
+	l, err := p.unaryExpr()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		var op ast.ArithOp
+		switch {
+		case p.accept(tokStar):
+			op = ast.OpMul
+		case p.accept(tokSlash):
+			op = ast.OpDiv
+		default:
+			return l, nil
+		}
+		r, err := p.unaryExpr()
+		if err != nil {
+			return nil, err
+		}
+		l = &ast.BinExpr{Op: op, L: l, R: r}
+	}
+}
+
+func (p *parser) unaryExpr() (ast.Expr, error) {
+	switch {
+	case p.accept(tokMinus):
+		e, err := p.unaryExpr()
+		if err != nil {
+			return nil, err
+		}
+		if n, ok := e.(ast.NumExpr); ok {
+			return ast.NumExpr{N: -n.N}, nil
+		}
+		return &ast.BinExpr{Op: ast.OpSub, L: ast.NumExpr{N: 0}, R: e}, nil
+	case p.at(tokLParen):
+		p.next()
+		e, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokRParen); err != nil {
+			return nil, err
+		}
+		return e, nil
+	case p.at(tokVar):
+		return ast.VarExpr{V: ast.Var(p.next().text)}, nil
+	case p.at(tokNumber):
+		t := p.next()
+		v, err := val.ParseNumber(t.text)
+		if err != nil {
+			return nil, err
+		}
+		return ast.NumExpr{N: v.N}, nil
+	case p.at(tokIdent):
+		t := p.next()
+		if t.text == "inf" {
+			return ast.NumExpr{N: math.Inf(1)}, nil
+		}
+		return ast.ConstExpr{V: val.Symbol(t.text)}, nil
+	case p.at(tokString):
+		return ast.ConstExpr{V: val.String(p.next().text)}, nil
+	}
+	return nil, p.errf("expected an expression, found %s", p.cur())
+}

@@ -1,0 +1,116 @@
+package relation
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/ast"
+	"repro/internal/lattice"
+	"repro/internal/val"
+)
+
+// randomDB builds a random interpretation over two cost predicates (one
+// minreal, one sumreal) and one ordinary predicate.
+func randomDB(r *rand.Rand) *DB {
+	s := ast.Schemas{}
+	s["sp/2"] = &ast.PredInfo{Key: "sp/2", Arity: 2, HasCost: true, L: lattice.MinReal}
+	s["m/2"] = &ast.PredInfo{Key: "m/2", Arity: 2, HasCost: true, L: lattice.SumReal}
+	s["e/1"] = &ast.PredInfo{Key: "e/1", Arity: 1}
+	db := NewDB(s)
+	for i := 0; i < r.Intn(6); i++ {
+		db.Rel("sp/2").InsertJoin([]val.T{val.Symbol(fmt.Sprintf("n%d", r.Intn(3)))}, val.Number(float64(r.Intn(10))))
+	}
+	for i := 0; i < r.Intn(6); i++ {
+		db.Rel("m/2").InsertJoin([]val.T{val.Symbol(fmt.Sprintf("c%d", r.Intn(3)))}, val.Number(float64(r.Intn(10))))
+	}
+	for i := 0; i < r.Intn(4); i++ {
+		db.Rel("e/1").InsertJoin([]val.T{val.Symbol(fmt.Sprintf("x%d", r.Intn(3)))}, val.T{})
+	}
+	return db
+}
+
+// TestTheorem31JoinIsLub property-checks that ⊔ on interpretations is a
+// least upper bound: I ⊑ I⊔J, J ⊑ I⊔J, and I⊔J ⊑ K for any upper bound
+// K generated alongside.
+func TestTheorem31JoinIsLub(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a, b := randomDB(r), randomDB(r)
+		j := a.Clone()
+		j.Join(b)
+		if !a.Leq(j, nil) || !b.Leq(j, nil) {
+			t.Errorf("seed %d: join is not an upper bound", seed)
+			return false
+		}
+		// Any upper bound of both dominates the join.
+		k := a.Clone()
+		k.Join(b)
+		k.Join(randomDB(r)) // inflate further: still an upper bound
+		if !j.Leq(k, nil) {
+			t.Errorf("seed %d: join is not least among generated upper bounds", seed)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestTheorem31MeetIsGlb property-checks the dual: I⊓J ⊑ I, I⊓J ⊑ J, and
+// every generated lower bound is ⊑ I⊓J.
+func TestTheorem31MeetIsGlb(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a, b := randomDB(r), randomDB(r)
+		m := a.Meet(b)
+		if !m.Leq(a, nil) || !m.Leq(b, nil) {
+			t.Errorf("seed %d: meet is not a lower bound", seed)
+			return false
+		}
+		// A lower bound: the meet of a with something else, then with b.
+		lb := a.Meet(randomDB(r)).Meet(b)
+		if !lb.Leq(m, nil) {
+			t.Errorf("seed %d: generated lower bound is not ⊑ the meet", seed)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestInterpretationOrderIsPartialOrder checks reflexivity, antisymmetry
+// (up to Equal) and transitivity on random interpretations.
+func TestInterpretationOrderIsPartialOrder(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a := randomDB(r)
+		b := a.Clone()
+		b.Join(randomDB(r))
+		c := b.Clone()
+		c.Join(randomDB(r))
+		if !a.Leq(a, nil) {
+			t.Errorf("seed %d: not reflexive", seed)
+			return false
+		}
+		if !a.Leq(b, nil) || !b.Leq(c, nil) {
+			t.Fatalf("seed %d: generator broke the chain", seed)
+		}
+		if !a.Leq(c, nil) {
+			t.Errorf("seed %d: not transitive", seed)
+			return false
+		}
+		if a.Leq(b, nil) && b.Leq(a, nil) && !a.Equal(b, nil) {
+			t.Errorf("seed %d: antisymmetry fails", seed)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

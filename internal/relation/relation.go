@@ -1,0 +1,279 @@
+// Package relation implements tuple storage for aggregate Herbrand
+// interpretations (Definition 3.3 of Ross & Sagiv, PODS 1992).
+//
+// A relation for a cost predicate maps each tuple of non-cost arguments to
+// a single cost value, enforcing the functional dependency of the cost
+// argument on the other arguments (§2.3.1). Only the *core* of an
+// extension is stored (§2.3.3): for a default-value cost predicate,
+// tuples carrying the default (bottom) value are virtual and looked up via
+// GetOrDefault.
+package relation
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/ast"
+	"repro/internal/lattice"
+	"repro/internal/val"
+)
+
+// Row is one stored tuple: the non-cost arguments plus the cost value (the
+// zero val.T and HasCost=false for ordinary predicates).
+type Row struct {
+	Args    []val.T
+	Cost    lattice.Elem
+	HasCost bool
+}
+
+// Relation stores the core extension of one predicate.
+type Relation struct {
+	Info *ast.PredInfo
+	keys []string       // insertion order, for deterministic iteration
+	rows map[string]int // key -> index into keys/data
+	data []Row
+	// indexes maps a bound-position bitmask to (projection key -> row
+	// indices). Indexes are built lazily and maintained on insert.
+	indexes map[uint64]map[string][]int
+}
+
+// New creates an empty relation with the given schema.
+func New(info *ast.PredInfo) *Relation {
+	return &Relation{Info: info, rows: map[string]int{}}
+}
+
+// Len returns the number of stored (core) tuples.
+func (r *Relation) Len() int { return len(r.data) }
+
+// Get returns the stored row for the given non-cost arguments.
+func (r *Relation) Get(args []val.T) (Row, bool) {
+	i, ok := r.rows[val.KeyOf(args)]
+	if !ok {
+		return Row{}, false
+	}
+	return r.data[i], true
+}
+
+// GetOrDefault behaves like Get but, for a default-value cost predicate,
+// synthesizes the default (bottom) row on a miss (§2.3.2). ok is false
+// only when the tuple is genuinely absent from the interpretation.
+func (r *Relation) GetOrDefault(args []val.T) (Row, bool) {
+	if row, ok := r.Get(args); ok {
+		return row, true
+	}
+	if r.Info.HasDefault {
+		return Row{Args: args, Cost: r.Info.L.Bottom(), HasCost: true}, true
+	}
+	return Row{}, false
+}
+
+// ConflictError reports a violation of the cost functional dependency
+// within a single application of T_P (the program is not cost-consistent,
+// Definition 2.6).
+type ConflictError struct {
+	Pred     ast.PredKey
+	Args     []val.T
+	Old, New lattice.Elem
+}
+
+func (e *ConflictError) Error() string {
+	parts := make([]string, len(e.Args))
+	for i, a := range e.Args {
+		parts[i] = a.String()
+	}
+	return fmt.Sprintf("relation: cost conflict on %s(%s): %s vs %s",
+		e.Pred.Name(), strings.Join(parts, ", "), e.Old, e.New)
+}
+
+// InsertStrict adds a tuple, failing with a ConflictError if the same
+// non-cost arguments are already present with a different cost. It is used
+// for a single T_P application, where conflict-free programs can never
+// produce two distinct costs (Lemma 2.3).
+func (r *Relation) InsertStrict(args []val.T, cost lattice.Elem) error {
+	k := val.KeyOf(args)
+	if i, ok := r.rows[k]; ok {
+		if !r.Info.HasCost {
+			return nil
+		}
+		if !lattice.Eq(r.Info.L, r.data[i].Cost, cost) {
+			return &ConflictError{Pred: r.Info.Key, Args: args, Old: r.data[i].Cost, New: cost}
+		}
+		return nil
+	}
+	r.insertNew(k, args, cost)
+	return nil
+}
+
+// InsertJoin adds a tuple, joining costs on collision, and reports whether
+// the relation changed (a new tuple, or a cost strictly increased in ⊑).
+// It is the accumulation step of the semi-naive fixpoint, sound because
+// admissible programs are monotone (Lemma 4.1).
+func (r *Relation) InsertJoin(args []val.T, cost lattice.Elem) bool {
+	k := val.KeyOf(args)
+	if i, ok := r.rows[k]; ok {
+		if !r.Info.HasCost {
+			return false
+		}
+		j := r.Info.L.Join(r.data[i].Cost, cost)
+		if lattice.Eq(r.Info.L, j, r.data[i].Cost) {
+			return false
+		}
+		r.data[i].Cost = j
+		return true
+	}
+	if r.Info.HasDefault && lattice.Eq(r.Info.L, cost, r.Info.L.Bottom()) {
+		// Default rows are virtual; storing them would bloat the core
+		// without changing the interpretation.
+		return false
+	}
+	r.insertNew(k, args, cost)
+	return true
+}
+
+func (r *Relation) insertNew(k string, args []val.T, cost lattice.Elem) {
+	row := Row{Args: append([]val.T{}, args...), HasCost: r.Info.HasCost}
+	if r.Info.HasCost {
+		row.Cost = cost
+	}
+	idx := len(r.data)
+	r.rows[k] = idx
+	r.keys = append(r.keys, k)
+	r.data = append(r.data, row)
+	for mask, ix := range r.indexes {
+		pk := projKey(row.Args, mask)
+		ix[pk] = append(ix[pk], idx)
+	}
+}
+
+// Each calls f on every stored row in insertion order.
+func (r *Relation) Each(f func(Row) bool) {
+	for i := range r.data {
+		if !f(r.data[i]) {
+			return
+		}
+	}
+}
+
+// Rows returns all rows in a deterministic (sorted-by-key) order, for
+// stable output.
+func (r *Relation) Rows() []Row {
+	ks := append([]string{}, r.keys...)
+	sort.Strings(ks)
+	out := make([]Row, len(ks))
+	for i, k := range ks {
+		out[i] = r.data[r.rows[k]]
+	}
+	return out
+}
+
+// projKey builds the projection key of args over the positions set in mask.
+func projKey(args []val.T, mask uint64) string {
+	var b strings.Builder
+	for i, a := range args {
+		if mask&(1<<uint(i)) == 0 {
+			continue
+		}
+		b.WriteString(a.Key())
+		b.WriteByte(0)
+	}
+	return b.String()
+}
+
+// Match calls f on each row whose non-cost arguments agree with pattern
+// (nil entries are wildcards). When at least one position is bound, a hash
+// index on the bound positions is built lazily and consulted.
+func (r *Relation) Match(pattern []*val.T, f func(Row) bool) {
+	var mask uint64
+	for i, p := range pattern {
+		if p != nil && i < 64 {
+			mask |= 1 << uint(i)
+		}
+	}
+	if mask == 0 {
+		r.Each(f)
+		return
+	}
+	if r.indexes == nil {
+		r.indexes = map[uint64]map[string][]int{}
+	}
+	ix, ok := r.indexes[mask]
+	if !ok {
+		ix = map[string][]int{}
+		for i := range r.data {
+			pk := projKey(r.data[i].Args, mask)
+			ix[pk] = append(ix[pk], i)
+		}
+		r.indexes[mask] = ix
+	}
+	var b strings.Builder
+	for i, p := range pattern {
+		if p == nil || i >= 64 {
+			continue
+		}
+		b.WriteString(p.Key())
+		b.WriteByte(0)
+	}
+	for _, i := range ix[b.String()] {
+		row := r.data[i]
+		matched := true
+		for j, p := range pattern {
+			if p != nil && j >= 64 && !val.Equal(row.Args[j], *p) {
+				matched = false
+				break
+			}
+		}
+		if matched && !f(row) {
+			return
+		}
+	}
+}
+
+// Clone returns a deep-enough copy (rows are copied; values are immutable).
+func (r *Relation) Clone() *Relation {
+	c := New(r.Info)
+	c.keys = append([]string{}, r.keys...)
+	c.data = append([]Row{}, r.data...)
+	for k, v := range r.rows {
+		c.rows[k] = v
+	}
+	return c
+}
+
+// Leq reports whether r ⊑ other per Definition 3.2 lifted to relations:
+// every tuple of r must appear in other with a ⊒ cost. Virtual default
+// rows never matter: they are ⊑ anything present, and if absent from the
+// other side they are matched by the other side's virtual default.
+func (r *Relation) Leq(other *Relation) bool {
+	ok := true
+	r.Each(func(row Row) bool {
+		o, found := other.GetOrDefault(row.Args)
+		if !found {
+			ok = false
+			return false
+		}
+		if row.HasCost && !r.Info.L.Leq(row.Cost, o.Cost) {
+			ok = false
+			return false
+		}
+		return true
+	})
+	return ok
+}
+
+// Equal reports lattice equality of the two relations.
+func (r *Relation) Equal(other *Relation) bool {
+	return r.Leq(other) && other.Leq(r)
+}
+
+// Join merges other into r (tuple-wise cost join), reporting change.
+func (r *Relation) Join(other *Relation) bool {
+	changed := false
+	other.Each(func(row Row) bool {
+		if r.InsertJoin(row.Args, row.Cost) {
+			changed = true
+		}
+		return true
+	})
+	return changed
+}

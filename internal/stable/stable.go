@@ -1,0 +1,105 @@
+// Package stable implements the stable-model notions discussed in §5.3
+// and §5.5 of Ross & Sagiv (PODS 1992):
+//
+//   - Kemp–Stuckey stability, where aggregate subgoals are treated like
+//     negative literals in the reduct. Incomparable stable models can
+//     coexist (Example 3.1's M1 and M2 are both stable).
+//   - The paper's alternative: reduce only negation and require the
+//     candidate to be the unique minimal model of the (monotonic) reduced
+//     program — under which only the paper's least model M1 survives.
+package stable
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/ast"
+	"repro/internal/core"
+	"repro/internal/relation"
+	"repro/internal/val"
+	"repro/internal/wfs"
+)
+
+// IsStable checks Kemp–Stuckey stability of the total interpretation m:
+// the least fixpoint of the program with negation and aggregates frozen
+// at m must reproduce m exactly.
+func IsStable(prog *ast.Program, m *wfs.Store, opts wfs.Options) (bool, error) {
+	lfp, err := wfs.ReductLfp(prog, m, opts)
+	if err != nil {
+		return false, err
+	}
+	return lfp.Equal(m), nil
+}
+
+// IsMonotonicStable checks the §5.5 alternative: the reduct removes only
+// negation (none of the paper's aggregate examples has any, so the
+// program is unchanged), the reduced program must be monotonic, and m
+// must equal its least model. Under this definition the minimal model of
+// a monotonic program is the unique stable model.
+func IsMonotonicStable(prog *ast.Program, edb *relation.DB, m *relation.DB, opts core.Options) (bool, error) {
+	for _, r := range prog.Rules {
+		for _, sg := range r.Body {
+			if l, ok := sg.(*ast.Lit); ok && l.Neg {
+				return false, fmt.Errorf("stable: negation reduct not implemented for rule %q (the paper's examples are negation-free)", r)
+			}
+		}
+	}
+	en, err := core.New(prog, opts)
+	if err != nil {
+		return false, err
+	}
+	if en.Report.Admissible != nil {
+		return false, fmt.Errorf("stable: reduced program is not monotonic: %w", en.Report.Admissible)
+	}
+	least, _, err := en.Solve(edb)
+	if err != nil {
+		return false, err
+	}
+	return least.Equal(m, nil), nil
+}
+
+// Enumerate searches for Kemp–Stuckey stable models among subsets of the
+// candidate atom set. Atoms of predicates in fixed are kept in every
+// candidate (typically the EDB); the remaining atoms are toggled. The
+// search is exponential and guarded by maxFree.
+func Enumerate(prog *ast.Program, candidates *wfs.Store, fixed map[ast.PredKey]bool, maxFree int, opts wfs.Options) ([]*wfs.Store, error) {
+	type atom struct {
+		k    ast.PredKey
+		args []val.T
+	}
+	var free []atom
+	base := wfs.NewStore()
+	for _, k := range candidates.Preds() {
+		k := k
+		candidates.Each(k, func(args []val.T) bool {
+			if fixed[k] {
+				base.Add(k, args)
+			} else {
+				free = append(free, atom{k, args})
+			}
+			return true
+		})
+	}
+	if len(free) > maxFree {
+		return nil, fmt.Errorf("stable: %d free atoms exceed the enumeration bound %d", len(free), maxFree)
+	}
+	var out []*wfs.Store
+	total := 1 << len(free)
+	for mask := 0; mask < total; mask++ {
+		m := base.Clone()
+		for i, a := range free {
+			if mask&(1<<i) != 0 {
+				m.Add(a.k, a.args)
+			}
+		}
+		ok, err := IsStable(prog, m, opts)
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			out = append(out, m)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Len() < out[j].Len() })
+	return out, nil
+}

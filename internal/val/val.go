@@ -1,0 +1,294 @@
+// Package val defines the runtime value representation shared by every
+// layer of the engine: constants appearing in tuples, cost values drawn
+// from lattices, and the results of aggregate functions.
+//
+// A single concrete type T is used rather than an interface so that values
+// can be compared, interned and stored in maps cheaply, and so that a
+// heterogeneous interpretation (one program mixing numeric, boolean and
+// set-valued cost domains, as in Ross & Sagiv Figure 1) needs no type
+// parameters.
+package val
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Kind discriminates the variants of T.
+type Kind uint8
+
+// The value kinds. Sym is an uninterpreted constant (lowercase identifier),
+// Num is a real number (the numeric cost domains of Figure 1 are all
+// embedded in R ∪ {±∞}, represented by float64 with ±Inf), Bool is a truth
+// value (written 0/1 in the paper), Str is a quoted string, and Set is a
+// finite set of values (the powerset domains of Figure 1).
+const (
+	Sym Kind = iota
+	Num
+	Bool
+	Str
+	SetKind
+)
+
+// T is a runtime value.
+type T struct {
+	Kind Kind
+	S    string  // Sym, Str
+	N    float64 // Num
+	B    bool    // Bool
+	Set  *Set    // SetKind
+}
+
+// Symbol returns the symbol constant named s.
+func Symbol(s string) T { return T{Kind: Sym, S: s} }
+
+// Number returns the numeric constant n.
+func Number(n float64) T { return T{Kind: Num, N: n} }
+
+// Boolean returns the boolean constant b.
+func Boolean(b bool) T { return T{Kind: Bool, B: b} }
+
+// String returns the string constant s.
+func String(s string) T { return T{Kind: Str, S: s} }
+
+// SetOf returns a set value containing the given elements (duplicates are
+// removed; order is irrelevant).
+func SetOf(elems ...T) T { return T{Kind: SetKind, Set: NewSet(elems)} }
+
+// Key returns a canonical string encoding of v, suitable for use as a map
+// key. Distinct values have distinct keys.
+func (v T) Key() string {
+	switch v.Kind {
+	case Sym:
+		return "s:" + v.S
+	case Num:
+		return "n:" + strconv.FormatFloat(v.N, 'g', -1, 64)
+	case Bool:
+		if v.B {
+			return "b:1"
+		}
+		return "b:0"
+	case Str:
+		return "q:" + v.S
+	case SetKind:
+		return "S:" + v.Set.key()
+	}
+	return "?"
+}
+
+// String renders v in the concrete syntax of the rule language.
+func (v T) String() string {
+	switch v.Kind {
+	case Sym:
+		return v.S
+	case Num:
+		// Infinities print in the concrete syntax the parser reads back
+		// ("inf" / "-inf"), not strconv's "+Inf".
+		if math.IsInf(v.N, 1) {
+			return "inf"
+		}
+		if math.IsInf(v.N, -1) {
+			return "-inf"
+		}
+		return strconv.FormatFloat(v.N, 'g', -1, 64)
+	case Bool:
+		if v.B {
+			return "1"
+		}
+		return "0"
+	case Str:
+		return strconv.Quote(v.S)
+	case SetKind:
+		return v.Set.String()
+	}
+	return "?"
+}
+
+// Equal reports whether two values are identical.
+func Equal(a, b T) bool {
+	if a.Kind != b.Kind {
+		return false
+	}
+	switch a.Kind {
+	case Sym, Str:
+		return a.S == b.S
+	case Num:
+		return a.N == b.N
+	case Bool:
+		return a.B == b.B
+	case SetKind:
+		return a.Set.Equal(b.Set)
+	}
+	return false
+}
+
+// Compare imposes a total order on values (by kind, then by natural order
+// within the kind). It is used only for deterministic output ordering, not
+// for lattice orders.
+func Compare(a, b T) int {
+	if a.Kind != b.Kind {
+		return int(a.Kind) - int(b.Kind)
+	}
+	switch a.Kind {
+	case Sym, Str:
+		return strings.Compare(a.S, b.S)
+	case Num:
+		switch {
+		case a.N < b.N:
+			return -1
+		case a.N > b.N:
+			return 1
+		}
+		return 0
+	case Bool:
+		switch {
+		case !a.B && b.B:
+			return -1
+		case a.B && !b.B:
+			return 1
+		}
+		return 0
+	case SetKind:
+		return strings.Compare(a.Set.key(), b.Set.key())
+	}
+	return 0
+}
+
+// KeyOf returns the canonical key of a tuple of values, separating the
+// component keys with an unprintable delimiter.
+func KeyOf(tuple []T) string {
+	var b strings.Builder
+	for i, v := range tuple {
+		if i > 0 {
+			b.WriteByte(0)
+		}
+		b.WriteString(v.Key())
+	}
+	return b.String()
+}
+
+// Set is an immutable finite set of values, kept sorted by Key.
+type Set struct {
+	elems []T
+	keys  []string
+}
+
+// NewSet builds a set from elems, discarding duplicates.
+func NewSet(elems []T) *Set {
+	type pair struct {
+		k string
+		v T
+	}
+	seen := make(map[string]T, len(elems))
+	for _, e := range elems {
+		seen[e.Key()] = e
+	}
+	ps := make([]pair, 0, len(seen))
+	for k, v := range seen {
+		ps = append(ps, pair{k, v})
+	}
+	sort.Slice(ps, func(i, j int) bool { return ps[i].k < ps[j].k })
+	s := &Set{elems: make([]T, len(ps)), keys: make([]string, len(ps))}
+	for i, p := range ps {
+		s.elems[i] = p.v
+		s.keys[i] = p.k
+	}
+	return s
+}
+
+// EmptySet is the set with no elements.
+var EmptySet = NewSet(nil)
+
+// Len returns the cardinality of s.
+func (s *Set) Len() int { return len(s.elems) }
+
+// Elems returns the elements of s in canonical order. The caller must not
+// modify the returned slice.
+func (s *Set) Elems() []T { return s.elems }
+
+// Contains reports whether v is a member of s.
+func (s *Set) Contains(v T) bool {
+	k := v.Key()
+	i := sort.SearchStrings(s.keys, k)
+	return i < len(s.keys) && s.keys[i] == k
+}
+
+// SubsetOf reports whether every element of s is in t.
+func (s *Set) SubsetOf(t *Set) bool {
+	if s.Len() > t.Len() {
+		return false
+	}
+	i := 0
+	for _, k := range s.keys {
+		for i < len(t.keys) && t.keys[i] < k {
+			i++
+		}
+		if i >= len(t.keys) || t.keys[i] != k {
+			return false
+		}
+	}
+	return true
+}
+
+// Union returns s ∪ t.
+func (s *Set) Union(t *Set) *Set {
+	return NewSet(append(append([]T{}, s.elems...), t.elems...))
+}
+
+// Intersect returns s ∩ t.
+func (s *Set) Intersect(t *Set) *Set {
+	var out []T
+	for _, e := range s.elems {
+		if t.Contains(e) {
+			out = append(out, e)
+		}
+	}
+	return NewSet(out)
+}
+
+// Equal reports whether s and t have the same elements.
+func (s *Set) Equal(t *Set) bool {
+	if s == t {
+		return true
+	}
+	if s == nil || t == nil || len(s.keys) != len(t.keys) {
+		return false
+	}
+	for i := range s.keys {
+		if s.keys[i] != t.keys[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func (s *Set) key() string {
+	if s == nil {
+		return "{}"
+	}
+	return "{" + strings.Join(s.keys, ";") + "}"
+}
+
+// String renders the set in concrete syntax.
+func (s *Set) String() string {
+	if s == nil {
+		return "{}"
+	}
+	parts := make([]string, len(s.elems))
+	for i, e := range s.elems {
+		parts[i] = e.String()
+	}
+	return "{" + strings.Join(parts, ", ") + "}"
+}
+
+// ParseNumber converts the text of a numeric literal to a Num value.
+func ParseNumber(text string) (T, error) {
+	n, err := strconv.ParseFloat(text, 64)
+	if err != nil {
+		return T{}, fmt.Errorf("val: bad number %q: %v", text, err)
+	}
+	return Number(n), nil
+}

@@ -1,0 +1,131 @@
+package val
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestKeysDistinguishKinds(t *testing.T) {
+	vals := []T{
+		Symbol("1"), Number(1), Boolean(true), String("1"),
+		SetOf(Number(1)), Symbol("a"), String("a"), SetOf(),
+	}
+	seen := map[string]T{}
+	for _, v := range vals {
+		if prev, dup := seen[v.Key()]; dup {
+			t.Errorf("key collision between %v and %v: %q", prev, v, v.Key())
+		}
+		seen[v.Key()] = v
+	}
+}
+
+func TestEqualAgreesWithKey(t *testing.T) {
+	gen := func(r *rand.Rand) T {
+		switch r.Intn(5) {
+		case 0:
+			return Symbol(string(rune('a' + r.Intn(3))))
+		case 1:
+			return Number(float64(r.Intn(4)))
+		case 2:
+			return Boolean(r.Intn(2) == 0)
+		case 3:
+			return String(string(rune('a' + r.Intn(3))))
+		default:
+			var elems []T
+			for i := 0; i < r.Intn(3); i++ {
+				elems = append(elems, Number(float64(r.Intn(3))))
+			}
+			return SetOf(elems...)
+		}
+	}
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a, b := gen(r), gen(r)
+		if Equal(a, b) != (a.Key() == b.Key()) {
+			t.Errorf("Equal(%v, %v) disagrees with key equality", a, b)
+			return false
+		}
+		if (Compare(a, b) == 0) != Equal(a, b) {
+			t.Errorf("Compare(%v, %v) == 0 disagrees with Equal", a, b)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSetOperations(t *testing.T) {
+	s := NewSet([]T{Symbol("b"), Symbol("a"), Symbol("b")})
+	if s.Len() != 2 {
+		t.Fatalf("duplicates must collapse: len = %d", s.Len())
+	}
+	if !s.Contains(Symbol("a")) || s.Contains(Symbol("c")) {
+		t.Fatal("Contains is wrong")
+	}
+	u := s.Union(NewSet([]T{Symbol("c")}))
+	if u.Len() != 3 {
+		t.Fatalf("union len = %d", u.Len())
+	}
+	i := s.Intersect(NewSet([]T{Symbol("a"), Symbol("c")}))
+	if i.Len() != 1 || !i.Contains(Symbol("a")) {
+		t.Fatalf("intersect = %v", i)
+	}
+	if !s.SubsetOf(u) || u.SubsetOf(s) {
+		t.Fatal("SubsetOf is wrong")
+	}
+	if !EmptySet.SubsetOf(s) {
+		t.Fatal("∅ ⊆ s")
+	}
+	if !s.Equal(NewSet([]T{Symbol("a"), Symbol("b")})) {
+		t.Fatal("Equal must be order-insensitive")
+	}
+}
+
+func TestKeyOfTuples(t *testing.T) {
+	a := KeyOf([]T{Symbol("x"), Number(1)})
+	b := KeyOf([]T{Symbol("x"), Number(2)})
+	c := KeyOf([]T{Symbol("x"), Number(1)})
+	if a == b {
+		t.Error("distinct tuples share a key")
+	}
+	if a != c {
+		t.Error("equal tuples have distinct keys")
+	}
+	// No ambiguity across arity boundaries.
+	if KeyOf([]T{Symbol("xy")}) == KeyOf([]T{Symbol("x"), Symbol("y")}) {
+		t.Error("tuple key must encode arity boundaries")
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	cases := []struct {
+		v    T
+		want string
+	}{
+		{Symbol("abc"), "abc"},
+		{Number(3.5), "3.5"},
+		{Number(3), "3"},
+		{Boolean(true), "1"},
+		{Boolean(false), "0"},
+		{String("hi"), `"hi"`},
+		{SetOf(Symbol("b"), Symbol("a")), "{a, b}"},
+	}
+	for _, c := range cases {
+		if got := c.v.String(); got != c.want {
+			t.Errorf("%#v.String() = %q, want %q", c.v, got, c.want)
+		}
+	}
+}
+
+func TestParseNumber(t *testing.T) {
+	v, err := ParseNumber("2.25")
+	if err != nil || v.N != 2.25 {
+		t.Fatalf("ParseNumber: %v, %v", v, err)
+	}
+	if _, err := ParseNumber("zzz"); err == nil {
+		t.Fatal("ParseNumber must reject garbage")
+	}
+}

@@ -1,0 +1,285 @@
+package wfs_test
+
+import (
+	"testing"
+
+	"repro/internal/ast"
+	"repro/internal/core"
+	"repro/internal/parser"
+	"repro/internal/val"
+	"repro/internal/wfs"
+)
+
+func mustParse(t *testing.T, src string) *ast.Program {
+	t.Helper()
+	p, err := parser.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+const shortestPath = `
+.cost arc/3 : minreal.
+.cost path/4 : minreal.
+.cost s/3 : minreal.
+.ic :- arc(direct, Z, C).
+path(X, direct, Y, C) :- arc(X, Y, C).
+path(X, Z, Y, C)      :- s(X, Z, C1), arc(Z, Y, C2), C = C1 + C2.
+s(X, Y, C)            :- C ?= min D : path(X, Z, Y, D).
+`
+
+func nums(args ...any) []val.T {
+	out := make([]val.T, len(args))
+	for i, a := range args {
+		switch a := a.(type) {
+		case string:
+			out[i] = val.Symbol(a)
+		case int:
+			out[i] = val.Number(float64(a))
+		case float64:
+			out[i] = val.Number(a)
+		}
+	}
+	return out
+}
+
+// TestAcyclicShortestPathTwoValued: on an acyclic graph the program is
+// modularly stratified and the Kemp–Stuckey well-founded model is
+// two-valued and agrees with the monotonic least model (Proposition 6.1).
+func TestAcyclicShortestPathTwoValued(t *testing.T) {
+	src := shortestPath + `
+arc(a, b, 1).
+arc(b, c, 2).
+arc(a, c, 5).
+`
+	prog := mustParse(t, src)
+	res, err := wfs.Solve(prog, wfs.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.TwoValued() {
+		t.Fatalf("acyclic WFS must be two-valued; %d undefined", res.UndefinedCount())
+	}
+	if res.Status("s/3", nums("a", "c", 3)) != wfs.True {
+		t.Fatal("s(a,c,3) must be true")
+	}
+	if res.Status("s/3", nums("a", "c", 5)) != wfs.False {
+		t.Fatal("s(a,c,5) must be false")
+	}
+	// Agreement with the core engine (Proposition 6.1).
+	en, err := core.New(prog, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, _, err := en.Solve(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !wfs.FromDB(m).Equal(res.True) {
+		t.Fatalf("WFS and minimal model disagree on the acyclic graph:\nWFS true:\n%v\nmodel:\n%v", res.True.Preds(), m)
+	}
+}
+
+// TestCyclicShortestPathUndefined reproduces §5.3: on Example 3.1's
+// cyclic graph the well-founded model leaves the s atoms (and the cyclic
+// path atom) undefined, while the monotonic semantics picks M1.
+func TestCyclicShortestPathUndefined(t *testing.T) {
+	src := shortestPath + `
+arc(a, b, 1).
+arc(b, b, 0).
+`
+	res, err := wfs.Solve(mustParse(t, src), wfs.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TwoValued() {
+		t.Fatal("the cyclic graph must leave atoms undefined (§5.3)")
+	}
+	if got := res.Status("s/3", nums("a", "b", 1)); got != wfs.Undefined {
+		t.Fatalf("s(a,b,1) = %v, want undefined", got)
+	}
+	if got := res.Status("path/4", nums("a", "b", "b", 1)); got != wfs.Undefined {
+		t.Fatalf("path(a,b,b,1) = %v, want undefined", got)
+	}
+	// The non-recursive facts stay true.
+	if got := res.Status("path/4", nums("a", "direct", "b", 1)); got != wfs.True {
+		t.Fatalf("path(a,direct,b,1) = %v, want true", got)
+	}
+	if got := res.Status("arc/3", nums("a", "b", 1)); got != wfs.True {
+		t.Fatalf("arc(a,b,1) = %v, want true", got)
+	}
+}
+
+const party = `
+.cost requires/2 : countnat.
+coming(X) :- requires(X, K), N = count : kc(X, Y), N >= K.
+kc(X, Y)  :- knows(X, Y), coming(Y).
+`
+
+// TestPartyWFS: with an acyclic knows relation WFS matches the monotonic
+// model; with a cycle the well-founded model goes undefined where the
+// monotonic model is total (Example 4.3's point: the program is
+// monotonic but modularly stratified only for acyclic knows).
+func TestPartyWFS(t *testing.T) {
+	acyclic := party + `
+requires(a, 0).
+requires(b, 1).
+knows(b, a).
+`
+	res, err := wfs.Solve(mustParse(t, acyclic), wfs.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.TwoValued() {
+		t.Fatalf("acyclic party must be two-valued; %d undefined", res.UndefinedCount())
+	}
+	if res.Status("coming/1", nums("b")) != wfs.True {
+		t.Fatal("b comes (knows a, who needs nobody)")
+	}
+
+	cyclic := party + `
+requires(x, 1).
+requires(y, 1).
+knows(x, y).
+knows(y, x).
+`
+	res, err = wfs.Solve(mustParse(t, cyclic), wfs.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TwoValued() {
+		t.Fatal("the knows-cycle must leave attendance undefined under WFS")
+	}
+	if got := res.Status("coming/1", nums("x")); got != wfs.Undefined {
+		t.Fatalf("coming(x) = %v, want undefined (monotonic semantics says false)", got)
+	}
+}
+
+const companyControl = `
+.cost s/3 : sumreal.
+.cost cv/4 : sumreal.
+.cost m/3 : sumreal.
+cv(X, X, Y, N) :- s(X, Y, N).
+cv(X, Z, Y, N) :- c(X, Z), s(Z, Y, N).
+m(X, Y, N)     :- N ?= sum M : cv(X, Z, Y, M).
+c(X, Y)        :- m(X, Y, N), N > 0.5.
+`
+
+// TestCompanyControlWFS: on §5.6's EDB c(a,b) and c(a,c) are not true —
+// Kemp–Stuckey's well-founded construction makes the unsupported control
+// cycle false (the paper's contrast there is against Van Gelder's
+// semantics, which would leave them undefined; we document rather than
+// implement his translation, DESIGN.md §4).
+func TestCompanyControlWFS(t *testing.T) {
+	src := companyControl + `
+s(a, b, 0.3).
+s(a, c, 0.3).
+s(b, c, 0.6).
+s(c, b, 0.6).
+`
+	res, err := wfs.Solve(mustParse(t, src), wfs.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Status("c/2", nums("a", "b")); got == wfs.True {
+		t.Fatal("c(a,b) must not be true")
+	}
+	if got := res.Status("c/2", nums("a", "c")); got == wfs.True {
+		t.Fatal("c(a,c) must not be true")
+	}
+	// Direct 0.6 ownership is definite control.
+	if got := res.Status("c/2", nums("b", "c")); got != wfs.True {
+		t.Fatalf("c(b,c) = %v, want true", got)
+	}
+}
+
+// TestNormalWinMove: the classic win-move game checks the plain
+// (aggregate-free) alternating fixpoint.
+func TestNormalWinMove(t *testing.T) {
+	src := `
+move(a, b).
+move(b, a).
+move(b, c).
+move(d, e).
+win(X) :- move(X, Y), not win(Y).
+`
+	res, err := wfs.Solve(mustParse(t, src), wfs.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// c has no moves: lost; b can move to c: won; a moves only to b: lost;
+	// d moves to e (lost): won... e has no moves: lost, so win(d) true.
+	if got := res.Status("win/1", nums("b")); got != wfs.True {
+		t.Fatalf("win(b) = %v, want true", got)
+	}
+	if got := res.Status("win/1", nums("a")); got != wfs.False {
+		t.Fatalf("win(a) = %v, want false", got)
+	}
+	if got := res.Status("win/1", nums("d")); got != wfs.True {
+		t.Fatalf("win(d) = %v, want true", got)
+	}
+	if got := res.Status("win/1", nums("c")); got != wfs.False {
+		t.Fatalf("win(c) = %v, want false", got)
+	}
+}
+
+func TestNormalWinMoveDraw(t *testing.T) {
+	// A 2-cycle with no exit is a draw: undefined.
+	src := `
+move(a, b).
+move(b, a).
+win(X) :- move(X, Y), not win(Y).
+`
+	res, err := wfs.Solve(mustParse(t, src), wfs.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Status("win/1", nums("a")); got != wfs.Undefined {
+		t.Fatalf("win(a) = %v, want undefined (draw)", got)
+	}
+	if got := res.Status("win/1", nums("b")); got != wfs.Undefined {
+		t.Fatalf("win(b) = %v, want undefined (draw)", got)
+	}
+}
+
+// TestPositiveSelfLoopPartial: a positive self-loop stays finite under
+// the aggregate semantics (the achievable-minimum pruning caps candidate
+// costs at the definite direct-path cost) and leaves the cyclic atoms
+// undefined.
+func TestPositiveSelfLoopPartial(t *testing.T) {
+	src := shortestPath + `
+arc(a, a, 1).
+`
+	res, err := wfs.Solve(mustParse(t, src), wfs.Options{MaxAtoms: 5000, MaxIters: 500})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Status("s/3", nums("a", "a", 1)); got != wfs.Undefined {
+		t.Fatalf("s(a,a,1) = %v, want undefined", got)
+	}
+	if got := res.Status("s/3", nums("a", "a", 2)); got != wfs.False {
+		t.Fatalf("s(a,a,2) = %v, want false (the direct arc always caps the minimum)", got)
+	}
+}
+
+func TestStoreBasics(t *testing.T) {
+	s := wfs.NewStore()
+	if !s.Add("p/1", nums("a")) || s.Add("p/1", nums("a")) {
+		t.Fatal("Add dedup broken")
+	}
+	if !s.Has("p/1", nums("a")) || s.Has("p/1", nums("b")) {
+		t.Fatal("Has broken")
+	}
+	c := s.Clone()
+	c.Add("p/1", nums("b"))
+	if s.Has("p/1", nums("b")) {
+		t.Fatal("Clone must not alias")
+	}
+	if !s.SubsetOf(c) || c.SubsetOf(s) {
+		t.Fatal("SubsetOf broken")
+	}
+	if s.Equal(c) || !s.Equal(s.Clone()) {
+		t.Fatal("Equal broken")
+	}
+}

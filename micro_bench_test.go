@@ -1,0 +1,124 @@
+// Library micro-benchmarks: parser throughput, relation operations, and
+// the cost of optional engine features (tracing).
+package repro_test
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/ast"
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/lattice"
+	"repro/internal/parser"
+	"repro/internal/programs"
+	"repro/internal/relation"
+	"repro/internal/val"
+)
+
+// BenchmarkParse: program-text parsing throughput (rules + 512 facts).
+func BenchmarkParse(b *testing.B) {
+	g := gen.Graph(gen.RandomGraph, 128, 512, 9, 1)
+	src := programs.ShortestPath + gen.GraphFacts(g)
+	b.SetBytes(int64(len(src)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := parser.Parse(src); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCompile: the full Load pipeline (parse + schemas + safety +
+// conflict-freedom + admissibility + plan compilation).
+func BenchmarkCompile(b *testing.B) {
+	g := gen.Graph(gen.RandomGraph, 64, 256, 9, 1)
+	src := programs.ShortestPath + gen.GraphFacts(g)
+	prog, err := parser.Parse(src)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.New(prog, core.Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRelationInsert: lattice-joining inserts into a cost relation.
+func BenchmarkRelationInsert(b *testing.B) {
+	info := &ast.PredInfo{Key: "s/3", Arity: 3, HasCost: true, L: lattice.MinReal}
+	keys := make([][]val.T, 1024)
+	for i := range keys {
+		keys[i] = []val.T{val.Symbol(fmt.Sprintf("u%d", i%64)), val.Symbol(fmt.Sprintf("v%d", i/64))}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r := relation.New(info)
+		for j, k := range keys {
+			r.InsertJoin(k, val.Number(float64(j%17)))
+		}
+	}
+}
+
+// BenchmarkRelationMatch: indexed bound-prefix matching.
+func BenchmarkRelationMatch(b *testing.B) {
+	info := &ast.PredInfo{Key: "e/2", Arity: 2}
+	r := relation.New(info)
+	for i := 0; i < 64; i++ {
+		for j := 0; j < 64; j++ {
+			r.InsertJoin([]val.T{val.Symbol(fmt.Sprintf("u%d", i)), val.Symbol(fmt.Sprintf("v%d", j))}, val.T{})
+		}
+	}
+	u := val.Symbol("u17")
+	pattern := []*val.T{&u, nil}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n := 0
+		r.Match(pattern, func(relation.Row) bool { n++; return true })
+		if n != 64 {
+			b.Fatalf("matched %d", n)
+		}
+	}
+}
+
+// BenchmarkTraceOverhead: solving with and without provenance recording.
+func BenchmarkTraceOverhead(b *testing.B) {
+	g := gen.Graph(gen.LayeredDAG, 96, 384, 9, 96)
+	src := programs.ShortestPath + gen.GraphFacts(g)
+	prog, err := parser.Parse(src)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, trace := range []bool{false, true} {
+		name := "off"
+		if trace {
+			name = "on"
+		}
+		en, err := core.New(prog, core.Options{Trace: trace})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, _, err := en.Solve(nil); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkGroupStratifiedCheck: the instance-level §5.1 classification.
+func BenchmarkGroupStratifiedCheck(b *testing.B) {
+	g := gen.Graph(gen.LayeredDAG, 64, 200, 9, 64)
+	en := mustEngine(b, programs.ShortestPath+gen.GraphFacts(g), core.Options{})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ok, err := en.GroupStratified(nil)
+		if err != nil || !ok {
+			b.Fatalf("ok=%v err=%v", ok, err)
+		}
+	}
+}
