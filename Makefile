@@ -1,0 +1,28 @@
+GO ?= go
+FUZZTIME ?= 10s
+
+.PHONY: all build vet test race fuzz ci clean
+
+all: build
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Short coverage-guided fuzz run over the parser; the seed corpus alone
+# runs under plain `make test`.
+fuzz:
+	$(GO) test ./internal/parser -run '^$$' -fuzz '^FuzzParse$$' -fuzztime $(FUZZTIME)
+
+ci: vet build race fuzz
+
+clean:
+	$(GO) clean ./...

@@ -11,56 +11,106 @@
 //	-naive         use the naive T_P iteration instead of semi-naive
 //	-eps ε         numeric convergence tolerance (for ω-limit programs)
 //	-max-rounds N  fixpoint round bound per component
+//	-max-facts N   derivation budget per solve (0 = unlimited)
+//	-timeout d     wall-clock budget for evaluation, e.g. 1s (0 = none)
 //	-query pred    print only the tuples of one predicate
 //	-stats         print evaluation statistics to stderr
 //	-unchecked     skip the static checks (minimal model no longer guaranteed)
 //	-wfs-fallback  evaluate negation-recursive components by WFS (§6.3)
 //	-explain atom  print the derivation tree of one ground atom, e.g.
 //	               -explain 's(a, c)' (implies tracing)
+//
+// SIGINT (Ctrl-C) cancels the evaluation gracefully: the partial model
+// and statistics are printed to stderr before exiting. A breached
+// -timeout or -max-facts budget, and detected divergence (an ω-limit
+// program such as Example 5.1), behave the same way.
+//
+// Exit codes: 0 success, 1 usage or I/O error, 2 parse error, 3 failed
+// static check, 4 evaluation failure.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
 
 	"repro/datalog"
 )
 
+// Exit codes; kept distinct so scripts can tell a bad invocation from a
+// bad program from a bad evaluation.
+const (
+	exitOK     = 0
+	exitUsage  = 1
+	exitParse  = 2
+	exitStatic = 3
+	exitEval   = 4
+)
+
 func main() {
-	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	os.Exit(run(ctx, os.Args[1:], os.Stdout, os.Stderr))
 }
 
 // run is the testable entry point; it returns the process exit code.
-func run(args []string, stdout, stderr io.Writer) int {
+func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("mdl", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	check := fs.Bool("check", false, "run static checks only")
 	naive := fs.Bool("naive", false, "use the naive fixpoint strategy")
 	eps := fs.Float64("eps", 0, "numeric convergence tolerance")
 	maxRounds := fs.Int("max-rounds", 0, "fixpoint round bound per component")
+	maxFacts := fs.Int64("max-facts", 0, "derivation budget per solve (0 = unlimited)")
+	timeout := fs.Duration("timeout", 0, "wall-clock budget for evaluation, e.g. 1s (0 = none)")
 	query := fs.String("query", "", "print only this predicate")
 	stats := fs.Bool("stats", false, "print evaluation statistics")
 	unchecked := fs.Bool("unchecked", false, "skip static checks")
 	wfsFallback := fs.Bool("wfs-fallback", false, "evaluate negation-recursive components by WFS (§6.3)")
 	explain := fs.String("explain", "", "print the derivation tree of a ground atom, e.g. 's(a, c)'")
 	if err := fs.Parse(args); err != nil {
-		return 2
+		return exitUsage
+	}
+	usage := func(msg string) int {
+		fmt.Fprintln(stderr, "mdl:", msg)
+		return exitUsage
+	}
+	// Validate flag values before doing any work.
+	if *eps < 0 {
+		return usage("-eps must be ≥ 0")
+	}
+	if *maxRounds < 0 {
+		return usage("-max-rounds must be ≥ 0")
+	}
+	if *maxFacts < 0 {
+		return usage("-max-facts must be ≥ 0")
+	}
+	timeoutSet := false
+	fs.Visit(func(f *flag.Flag) {
+		if f.Name == "timeout" {
+			timeoutSet = true
+		}
+	})
+	if timeoutSet && *timeout <= 0 {
+		return usage("-timeout must be > 0")
 	}
 	if fs.NArg() == 0 {
 		fmt.Fprintln(stderr, "usage: mdl [flags] program.mdl ...")
 		fs.PrintDefaults()
-		return 2
+		return exitUsage
 	}
 	var src strings.Builder
 	for _, f := range fs.Args() {
 		b, err := os.ReadFile(f)
 		if err != nil {
 			fmt.Fprintln(stderr, "mdl:", err)
-			return 1
+			return exitUsage
 		}
 		src.Write(b)
 		src.WriteByte('\n')
@@ -69,6 +119,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 	opts := datalog.Options{
 		Epsilon:     *eps,
 		MaxRounds:   *maxRounds,
+		MaxFacts:    *maxFacts,
+		MaxDuration: *timeout,
 		SkipChecks:  *unchecked || *check,
 		WFSFallback: *wfsFallback,
 		Trace:       *explain != "",
@@ -79,7 +131,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 	p, err := datalog.Load(src.String(), opts)
 	if err != nil {
 		fmt.Fprintln(stderr, "mdl:", err)
-		return 1
+		if errors.Is(err, datalog.ErrParse) {
+			return exitParse
+		}
+		return exitStatic
 	}
 	if *check {
 		cl := p.Classify()
@@ -91,27 +146,33 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stdout, "aggregate stratified:        %v\n", cl.AggregateStratified)
 		fmt.Fprintf(stdout, "negation stratified:         %v\n", cl.NegationStratified)
 		if !cl.Admissible {
-			return 1
+			return exitStatic
 		}
-		return 0
+		return exitOK
 	}
-	m, st, err := p.Solve()
+	m, st, err := p.SolveContext(ctx, nil)
 	if err != nil {
 		fmt.Fprintln(stderr, "mdl:", err)
-		return 1
+		// Limit breaches keep the work done so far: print the partial
+		// model and the statistics to stderr before giving up.
+		if m != nil {
+			fmt.Fprintln(stderr, "partial results (not a fixpoint):")
+			fmt.Fprint(stderr, m.String())
+		}
+		printStats(stderr, st)
+		return exitEval
 	}
 	if *stats {
-		fmt.Fprintf(stderr, "components=%d rounds=%d firings=%d derived=%d\n",
-			st.Components, st.Rounds, st.Firings, st.Derived)
+		printStats(stderr, st)
 	}
 	if *explain != "" {
 		pred, args, err := parseAtom(*explain)
 		if err != nil {
 			fmt.Fprintln(stderr, "mdl:", err)
-			return 1
+			return exitUsage
 		}
 		fmt.Fprint(stdout, m.ExplainTree(pred, 10, args...))
-		return 0
+		return exitOK
 	}
 	if *query != "" {
 		for _, row := range m.Facts(*query) {
@@ -121,10 +182,15 @@ func run(args []string, stdout, stderr io.Writer) int {
 			}
 			fmt.Fprintf(stdout, "%s(%s).\n", *query, strings.Join(parts, ", "))
 		}
-		return 0
+		return exitOK
 	}
 	fmt.Fprint(stdout, m.String())
-	return 0
+	return exitOK
+}
+
+func printStats(w io.Writer, st datalog.Stats) {
+	fmt.Fprintf(w, "components=%d rounds=%d firings=%d derived=%d\n",
+		st.Components, st.Rounds, st.Firings, st.Derived)
 }
 
 // parseAtom parses a ground atom like "s(a, c)" into a predicate name and

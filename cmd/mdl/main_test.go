@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"os"
 	"path/filepath"
 	"strings"
@@ -28,17 +29,35 @@ arc(a, b, 1).
 arc(b, c, 2).
 `
 
+// halfsum is Example 5.1, whose least fixpoint lies at ω; float64
+// saturation makes it converge after ~55 rounds without Epsilon, so the
+// -eps test uses it while the divergence tests use the unbounded
+// variant below.
+const halfsum = `
+.cost p/2 : sumreal.
+p(b, 1).
+p(a, C) :- C ?= halfsum D : p(X, D).
+`
+
+// divergent is the ω-limit family of Example 5.1 with an unbounded
+// limit: p(a) grows forever, so no finite fixpoint exists at all.
+const divergent = `
+.cost p/2 : sumreal.
+p(b, 1).
+p(a, C) :- C ?= sum D : p(X, D).
+`
+
 func runMdl(t *testing.T, args ...string) (string, string, int) {
 	t.Helper()
 	var out, errb strings.Builder
-	code := run(args, &out, &errb)
+	code := run(context.Background(), args, &out, &errb)
 	return out.String(), errb.String(), code
 }
 
 func TestSolveAndPrint(t *testing.T) {
 	f := writeProgram(t, "sp.mdl", shortestPath)
 	out, errOut, code := runMdl(t, f)
-	if code != 0 {
+	if code != exitOK {
 		t.Fatalf("exit %d, stderr: %s", code, errOut)
 	}
 	if !strings.Contains(out, "s(a, c, 3).") {
@@ -49,7 +68,7 @@ func TestSolveAndPrint(t *testing.T) {
 func TestQueryFlag(t *testing.T) {
 	f := writeProgram(t, "sp.mdl", shortestPath)
 	out, _, code := runMdl(t, "-query", "s", f)
-	if code != 0 {
+	if code != exitOK {
 		t.Fatalf("exit %d", code)
 	}
 	if strings.Contains(out, "path(") {
@@ -63,7 +82,7 @@ func TestQueryFlag(t *testing.T) {
 func TestCheckFlag(t *testing.T) {
 	f := writeProgram(t, "sp.mdl", shortestPath)
 	out, _, code := runMdl(t, "-check", f)
-	if code != 0 {
+	if code != exitOK {
 		t.Fatalf("exit %d", code)
 	}
 	if !strings.Contains(out, "admissible (monotonic):      true") {
@@ -76,8 +95,8 @@ p(a) :- N ?= count : q(X), N = 1.
 q(a) :- N ?= count : p(X), N = 1.
 `)
 	out, _, code = runMdl(t, "-check", bad)
-	if code != 1 {
-		t.Fatalf("non-admissible check must exit 1, got %d\n%s", code, out)
+	if code != exitStatic {
+		t.Fatalf("non-admissible check must exit %d, got %d\n%s", exitStatic, code, out)
 	}
 	if !strings.Contains(out, "reason:") {
 		t.Fatalf("missing reason:\n%s", out)
@@ -87,7 +106,7 @@ q(a) :- N ?= count : p(X), N = 1.
 func TestStatsFlag(t *testing.T) {
 	f := writeProgram(t, "sp.mdl", shortestPath)
 	_, errOut, code := runMdl(t, "-stats", f)
-	if code != 0 {
+	if code != exitOK {
 		t.Fatalf("exit %d", code)
 	}
 	if !strings.Contains(errOut, "rounds=") {
@@ -96,17 +115,98 @@ func TestStatsFlag(t *testing.T) {
 }
 
 func TestEpsilonFlag(t *testing.T) {
-	f := writeProgram(t, "halfsum.mdl", `
-.cost p/2 : sumreal.
-p(b, 1).
-p(a, C) :- C ?= halfsum D : p(X, D).
-`)
+	f := writeProgram(t, "halfsum.mdl", halfsum)
 	out, _, code := runMdl(t, "-eps", "1e-9", "-query", "p", f)
-	if code != 0 {
+	if code != exitOK {
 		t.Fatalf("exit %d", code)
 	}
 	if !strings.Contains(out, "p(a, 0.99999999") {
 		t.Fatalf("halfsum output:\n%s", out)
+	}
+}
+
+// TestTimeoutDivergence is the acceptance scenario: a deliberately
+// non-convergent ω-limit program run under -timeout 1s must exit
+// gracefully (code 4) with partial results and a divergence diagnosis
+// naming the predicate and group, instead of spinning until MaxRounds.
+func TestTimeoutDivergence(t *testing.T) {
+	f := writeProgram(t, "divergent.mdl", divergent)
+	out, errOut, code := runMdl(t, "-timeout", "1s", f)
+	if code != exitEval {
+		t.Fatalf("exit %d, want %d\nstderr: %s", code, exitEval, errOut)
+	}
+	if out != "" {
+		t.Fatalf("no model on stdout for a failed solve, got:\n%s", out)
+	}
+	for _, want := range []string{"diverge", "p(a)", "Epsilon", "partial results", "p(b, 1).", "rounds="} {
+		if !strings.Contains(errOut, want) {
+			t.Fatalf("stderr missing %q:\n%s", want, errOut)
+		}
+	}
+}
+
+func TestMaxFactsFlag(t *testing.T) {
+	f := writeProgram(t, "sp.mdl", shortestPath)
+	_, errOut, code := runMdl(t, "-max-facts", "1", f)
+	if code != exitEval {
+		t.Fatalf("exit %d, want %d\nstderr: %s", code, exitEval, errOut)
+	}
+	if !strings.Contains(errOut, "budget") {
+		t.Fatalf("stderr missing budget diagnosis:\n%s", errOut)
+	}
+}
+
+// TestCanceledContext simulates a SIGINT delivered before evaluation:
+// the solve stops with partial results and stats on stderr.
+func TestCanceledContext(t *testing.T) {
+	f := writeProgram(t, "sp.mdl", shortestPath)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var out, errb strings.Builder
+	code := run(ctx, []string{f}, &out, &errb)
+	if code != exitEval {
+		t.Fatalf("exit %d, want %d\nstderr: %s", code, exitEval, errb.String())
+	}
+	for _, want := range []string{"canceled", "rounds="} {
+		if !strings.Contains(errb.String(), want) {
+			t.Fatalf("stderr missing %q:\n%s", want, errb.String())
+		}
+	}
+}
+
+// TestExitCodes pins the exit-code contract: 1 usage, 2 parse, 3 static
+// check, 4 evaluation.
+func TestExitCodes(t *testing.T) {
+	good := writeProgram(t, "sp.mdl", shortestPath)
+	broken := writeProgram(t, "broken.mdl", "p(X :- q(X).")
+	negRec := writeProgram(t, "game.mdl", "win(X) :- move(X, Y), not win(Y).\nmove(a, b).\n")
+	diverging := writeProgram(t, "divergent.mdl", divergent)
+	cases := []struct {
+		name string
+		args []string
+		want int
+	}{
+		{"ok", []string{good}, exitOK},
+		{"no args", nil, exitUsage},
+		{"unknown flag", []string{"-no-such-flag", good}, exitUsage},
+		{"missing file", []string{filepath.Join(t.TempDir(), "nope.mdl")}, exitUsage},
+		{"negative eps", []string{"-eps", "-1", good}, exitUsage},
+		{"negative max-rounds", []string{"-max-rounds", "-1", good}, exitUsage},
+		{"negative max-facts", []string{"-max-facts", "-1", good}, exitUsage},
+		{"zero timeout", []string{"-timeout", "0s", good}, exitUsage},
+		{"negative timeout", []string{"-timeout", "-1s", good}, exitUsage},
+		{"parse error", []string{broken}, exitParse},
+		{"static failure", []string{negRec}, exitStatic},
+		{"eval divergence", []string{diverging}, exitEval},
+		{"eval budget", []string{"-max-facts", "1", good}, exitEval},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, errOut, code := runMdl(t, tc.args...)
+			if code != tc.want {
+				t.Fatalf("args %v: exit %d, want %d\nstderr: %s", tc.args, code, tc.want, errOut)
+			}
+		})
 	}
 }
 
@@ -115,13 +215,13 @@ func TestWFSFallbackFlag(t *testing.T) {
 win(X) :- move(X, Y), not win(Y).
 move(a, b).
 `)
-	// Rejected without the flag, solved with it.
+	// Rejected without the flag (a failed static check), solved with it.
 	_, _, code := runMdl(t, f)
-	if code != 1 {
-		t.Fatalf("negation recursion must fail without -wfs-fallback, got %d", code)
+	if code != exitStatic {
+		t.Fatalf("negation recursion must fail with exit %d without -wfs-fallback, got %d", exitStatic, code)
 	}
 	out, _, code := runMdl(t, "-wfs-fallback", f)
-	if code != 0 {
+	if code != exitOK {
 		t.Fatalf("exit %d", code)
 	}
 	if !strings.Contains(out, "win(a).") || strings.Contains(out, "win(b).") {
@@ -141,28 +241,15 @@ s(X, Y, C)            :- C ?= min D : path(X, Z, Y, D).
 `)
 	facts := writeProgram(t, "facts.mdl", "arc(x, y, 4).\n")
 	out, _, code := runMdl(t, "-query", "s", rules, facts)
-	if code != 0 || !strings.Contains(out, "s(x, y, 4).") {
+	if code != exitOK || !strings.Contains(out, "s(x, y, 4).") {
 		t.Fatalf("multi-file run: exit %d\n%s", code, out)
-	}
-	// Missing file.
-	if _, _, code := runMdl(t, filepath.Join(t.TempDir(), "nope.mdl")); code != 1 {
-		t.Fatalf("missing file must exit 1, got %d", code)
-	}
-	// No arguments.
-	if _, _, code := runMdl(t); code != 2 {
-		t.Fatalf("no args must exit 2, got %d", code)
-	}
-	// Parse error.
-	broken := writeProgram(t, "broken.mdl", "p(X :- q(X).")
-	if _, errOut, code := runMdl(t, broken); code != 1 || !strings.Contains(errOut, "mdl:") {
-		t.Fatalf("parse error must exit 1 with message, got %d: %s", code, errOut)
 	}
 }
 
 func TestExplainFlag(t *testing.T) {
 	f := writeProgram(t, "sp.mdl", shortestPath)
 	out, _, code := runMdl(t, "-explain", "s(a, c)", f)
-	if code != 0 {
+	if code != exitOK {
 		t.Fatalf("exit %d", code)
 	}
 	for _, want := range []string{"s(a, c, 3)", "min", "[fact]"} {
@@ -170,7 +257,7 @@ func TestExplainFlag(t *testing.T) {
 			t.Fatalf("explain output missing %q:\n%s", want, out)
 		}
 	}
-	if _, _, code := runMdl(t, "-explain", "s(a, c", f); code != 1 {
+	if _, _, code := runMdl(t, "-explain", "s(a, c", f); code != exitUsage {
 		t.Fatal("malformed atom must exit 1")
 	}
 }
@@ -178,7 +265,7 @@ func TestExplainFlag(t *testing.T) {
 func TestNaiveFlag(t *testing.T) {
 	f := writeProgram(t, "sp.mdl", shortestPath)
 	outN, _, code := runMdl(t, "-naive", f)
-	if code != 0 {
+	if code != exitOK {
 		t.Fatalf("exit %d", code)
 	}
 	outS, _, _ := runMdl(t, f)

@@ -27,7 +27,10 @@
 package datalog
 
 import (
+	"context"
+	"errors"
 	"fmt"
+	"time"
 
 	"repro/internal/ast"
 	"repro/internal/core"
@@ -36,6 +39,35 @@ import (
 	"repro/internal/relation"
 	"repro/internal/val"
 )
+
+// Error classes, testable with errors.Is. ErrParse and ErrStatic
+// classify Load failures; the rest classify Solve failures, which also
+// carry a full *EngineError (use errors.As) with the component, round,
+// last-improved atom, and — for ErrDiverged — the offending aggregate
+// group and its recent cost trajectory.
+var (
+	// ErrParse marks a syntax error in the program text.
+	ErrParse = errors.New("datalog: parse error")
+	// ErrStatic marks a failed static analysis (schema, safety,
+	// conflict-freedom, admissibility).
+	ErrStatic = errors.New("datalog: static check failed")
+	// ErrCanceled marks a canceled or timed-out solve.
+	ErrCanceled = core.ErrCanceled
+	// ErrBudgetExceeded marks a breached derivation budget.
+	ErrBudgetExceeded = core.ErrBudgetExceeded
+	// ErrDiverged marks non-convergent recursion (a fixpoint at ω,
+	// Example 5.1, or an exhausted round bound).
+	ErrDiverged = core.ErrDiverged
+	// ErrInternal marks an engine panic contained by the recover
+	// boundary instead of crashing the process.
+	ErrInternal = core.ErrInternal
+)
+
+// EngineError is the structured evaluation failure (see core.EngineError).
+type EngineError = core.EngineError
+
+// Divergence describes a detected ω-limit signature (see core.Divergence).
+type Divergence = core.Divergence
 
 // Strategy selects the fixpoint algorithm.
 type Strategy = core.Strategy
@@ -70,6 +102,20 @@ type Options struct {
 	// ground body of its last improvement), queryable with
 	// Model.Explain/ExplainTree. Costs extra memory per tuple.
 	Trace bool
+	// MaxFacts caps tuple derivations per solve (0 = unlimited); on
+	// breach Solve returns ErrBudgetExceeded with the partial model.
+	MaxFacts int64
+	// MaxDuration is a per-solve wall-clock deadline (0 = none); on
+	// expiry Solve returns ErrCanceled with the partial model.
+	MaxDuration time.Duration
+	// CheckEvery is the cancellation-poll granularity in rule firings
+	// (default 4096).
+	CheckEvery int
+	// DivergenceStreak configures the ω-limit detector: fail with
+	// ErrDiverged once one aggregate group improves this many
+	// consecutive times with nothing else changing (0 = default 1000,
+	// negative disables).
+	DivergenceStreak int
 }
 
 // Stats reports evaluation work.
@@ -79,13 +125,22 @@ type Stats = core.Stats
 type Program struct {
 	prog *ast.Program
 	en   *core.Engine
+	lim  core.Limits
 }
 
-// Load parses, checks and compiles a program.
+// Load parses, checks and compiles a program. Failures are classified:
+// errors.Is(err, ErrParse) for syntax errors, errors.Is(err, ErrStatic)
+// for failed static analyses.
 func Load(src string, opts Options) (*Program, error) {
 	prog, err := parser.Parse(src)
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("%w: %w", ErrParse, err)
+	}
+	lim := core.Limits{
+		MaxFacts:         opts.MaxFacts,
+		MaxDuration:      opts.MaxDuration,
+		CheckEvery:       opts.CheckEvery,
+		DivergenceStreak: opts.DivergenceStreak,
 	}
 	en, err := core.New(prog, core.Options{
 		Strategy:    opts.Strategy,
@@ -94,11 +149,12 @@ func Load(src string, opts Options) (*Program, error) {
 		SkipChecks:  opts.SkipChecks,
 		WFSFallback: opts.WFSFallback,
 		Trace:       opts.Trace,
+		Limits:      lim,
 	})
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("%w: %w", ErrStatic, err)
 	}
-	return &Program{prog: prog, en: en}, nil
+	return &Program{prog: prog, en: en, lim: lim}, nil
 }
 
 // Classification reports where the program sits on the paper's §5 ladder.
@@ -196,20 +252,62 @@ type Model struct {
 	en      *core.Engine
 }
 
+// SolveOption tunes a single SolveContext call, overriding the
+// program-wide limits set at Load.
+type SolveOption func(*core.Limits)
+
+// WithTimeout bounds the solve's wall clock; on expiry the solve stops
+// with ErrCanceled and the partial model.
+func WithTimeout(d time.Duration) SolveOption {
+	return func(l *core.Limits) { l.MaxDuration = d }
+}
+
+// WithMaxFacts caps tuple derivations for the solve (ErrBudgetExceeded
+// on breach).
+func WithMaxFacts(n int64) SolveOption {
+	return func(l *core.Limits) { l.MaxFacts = n }
+}
+
+// WithCheckEvery sets the cancellation-poll granularity in rule firings.
+func WithCheckEvery(n int) SolveOption {
+	return func(l *core.Limits) { l.CheckEvery = n }
+}
+
+// WithDivergenceStreak sets the ω-limit detector threshold (negative
+// disables it).
+func WithDivergenceStreak(n int) SolveOption {
+	return func(l *core.Limits) { l.DivergenceStreak = n }
+}
+
 // Solve evaluates the program over the given extensional facts and
 // returns its minimal model (Corollary 3.5).
 func (p *Program) Solve(facts ...Fact) (*Model, Stats, error) {
+	return p.SolveContext(context.Background(), facts)
+}
+
+// SolveContext is Solve with cooperative cancellation and per-call
+// limit overrides. On cancellation, budget breach or detected
+// divergence the error wraps the matching sentinel (ErrCanceled,
+// ErrBudgetExceeded, ErrDiverged — test with errors.Is; extract the
+// *EngineError with errors.As) and the returned model is non-nil,
+// holding the partial interpretation computed so far.
+func (p *Program) SolveContext(ctx context.Context, facts []Fact, opts ...SolveOption) (*Model, Stats, error) {
 	edb := relation.NewDB(p.en.Schemas)
 	for _, f := range facts {
 		if err := addFact(edb, p.en.Schemas, f); err != nil {
 			return nil, Stats{}, err
 		}
 	}
-	db, stats, err := p.en.Solve(edb)
-	if err != nil {
-		return nil, stats, err
+	lim := p.lim
+	for _, o := range opts {
+		o(&lim)
 	}
-	return &Model{db: db, schemas: p.en.Schemas, en: p.en}, stats, nil
+	db, stats, err := p.en.SolveLimits(ctx, edb, lim)
+	var m *Model
+	if db != nil {
+		m = &Model{db: db, schemas: p.en.Schemas, en: p.en}
+	}
+	return m, stats, err
 }
 
 func addFact(edb *relation.DB, schemas ast.Schemas, f Fact) error {
@@ -245,17 +343,25 @@ func addFact(edb *relation.DB, schemas ast.Schemas, f Fact) error {
 // (under negation, or inside a pseudo-monotonic aggregate) or is defined
 // by rules. The original model is unchanged.
 func (p *Program) SolveMore(m *Model, facts ...Fact) (*Model, Stats, error) {
+	return p.SolveMoreContext(context.Background(), m, facts)
+}
+
+// SolveMoreContext is SolveMore with cooperative cancellation; like
+// SolveContext it returns the partially extended model alongside any
+// limit-breach error.
+func (p *Program) SolveMoreContext(ctx context.Context, m *Model, facts []Fact) (*Model, Stats, error) {
 	added := relation.NewDB(p.en.Schemas)
 	for _, f := range facts {
 		if err := addFact(added, p.en.Schemas, f); err != nil {
 			return nil, Stats{}, err
 		}
 	}
-	db, stats, err := p.en.SolveMore(m.db, added)
-	if err != nil {
-		return nil, stats, err
+	db, stats, err := p.en.SolveMoreContext(ctx, m.db, added)
+	var out *Model
+	if db != nil {
+		out = &Model{db: db, schemas: p.en.Schemas, en: p.en}
 	}
-	return &Model{db: db, schemas: p.en.Schemas, en: p.en}, stats, nil
+	return out, stats, err
 }
 
 // Has reports whether the ground atom (without cost) is in the model.

@@ -1,0 +1,101 @@
+package datalog_test
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"repro/datalog"
+)
+
+const spChain = `
+.cost arc/3 : minreal.
+.cost path/4 : minreal.
+.cost s/3 : minreal.
+.ic :- arc(direct, Z, C).
+path(X, direct, Y, C) :- arc(X, Y, C).
+path(X, Z, Y, C)      :- s(X, Z, C1), arc(Z, Y, C2), C = C1 + C2.
+s(X, Y, C)            :- C ?= min D : path(X, Z, Y, D).
+arc(a, b, 1). arc(b, c, 1). arc(c, d, 1). arc(d, e, 1).
+`
+
+const omegaLimit = `
+.cost p/2 : sumreal.
+p(b, 1).
+p(a, C) :- C ?= sum D : p(X, D).
+`
+
+func TestLoadErrorClasses(t *testing.T) {
+	if _, err := datalog.Load("p(X :- q(X).", datalog.Options{}); !errors.Is(err, datalog.ErrParse) {
+		t.Fatalf("parse failure: err = %v, want ErrParse", err)
+	}
+	// Unsafe rule: head variable never bound.
+	if _, err := datalog.Load("p(X) :- q(Y).", datalog.Options{}); !errors.Is(err, datalog.ErrStatic) {
+		t.Fatalf("static failure: err = %v, want ErrStatic", err)
+	}
+}
+
+func TestSolveContextBudget(t *testing.T) {
+	p, err := datalog.Load(spChain, datalog.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, stats, err := p.SolveContext(context.Background(), nil, datalog.WithMaxFacts(3))
+	if !errors.Is(err, datalog.ErrBudgetExceeded) {
+		t.Fatalf("err = %v, want ErrBudgetExceeded", err)
+	}
+	var ee *datalog.EngineError
+	if !errors.As(err, &ee) {
+		t.Fatalf("err = %T, want *EngineError", err)
+	}
+	if m == nil || stats.Derived == 0 {
+		t.Fatal("budget breach must return the partial model and stats")
+	}
+}
+
+func TestSolveContextCanceledOmegaLimit(t *testing.T) {
+	p, err := datalog.Load(omegaLimit, datalog.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With the divergence detector disabled, only the deadline stops
+	// the ω-limit program.
+	m, stats, err := p.SolveContext(context.Background(), nil,
+		datalog.WithTimeout(50*time.Millisecond),
+		datalog.WithDivergenceStreak(-1),
+		datalog.WithCheckEvery(16))
+	if !errors.Is(err, datalog.ErrCanceled) {
+		t.Fatalf("err = %v, want ErrCanceled", err)
+	}
+	if m == nil {
+		t.Fatal("timed-out solve must return the partial model")
+	}
+	if !m.Has("p", datalog.Sym("b")) {
+		t.Fatal("partial model must keep the fact p(b, 1)")
+	}
+	if stats.Rounds == 0 {
+		t.Fatalf("stats must reflect the partial work: %+v", stats)
+	}
+}
+
+func TestSolveDivergenceDiagnosisFacade(t *testing.T) {
+	p, err := datalog.Load(omegaLimit, datalog.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, _, err := p.Solve()
+	if !errors.Is(err, datalog.ErrDiverged) {
+		t.Fatalf("err = %v, want ErrDiverged", err)
+	}
+	var ee *datalog.EngineError
+	if !errors.As(err, &ee) || ee.Divergence == nil {
+		t.Fatalf("missing diagnosis: %v", err)
+	}
+	if ee.Divergence.Pred.Name() != "p" {
+		t.Fatalf("offending predicate %s, want p", ee.Divergence.Pred)
+	}
+	if m == nil {
+		t.Fatal("diverged solve must return the partial model")
+	}
+}

@@ -1,8 +1,10 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
+	"runtime/debug"
 	"sort"
 
 	"repro/internal/ast"
@@ -57,6 +59,10 @@ type Options struct {
 	// Trace records, for every derived tuple, the rule and ground body
 	// of its last improvement, queryable through Explain/ExplainTree.
 	Trace bool
+	// Limits bounds every Solve: derivation budget, wall-clock
+	// deadline, cancellation-poll granularity and the ω-limit
+	// divergence threshold. SolveLimits can override them per call.
+	Limits
 }
 
 // Stats reports work done by Solve.
@@ -148,17 +154,40 @@ func New(prog *ast.Program, opts Options) (*Engine, error) {
 // Solve computes the iterated minimal model: the least fixpoint of T_P
 // for each component in bottom-up order, starting from the EDB.
 func (en *Engine) Solve(edb *relation.DB) (*relation.DB, Stats, error) {
+	return en.SolveContext(context.Background(), edb)
+}
+
+// SolveContext is Solve with cooperative cancellation: the fixpoint
+// loops poll ctx (and the Options limits) and stop with an *EngineError
+// wrapping ErrCanceled, ErrBudgetExceeded or ErrDiverged. On any such
+// failure the partial interpretation computed so far is returned
+// alongside the error and the Stats, so no work is discarded.
+func (en *Engine) SolveContext(ctx context.Context, edb *relation.DB) (*relation.DB, Stats, error) {
+	return en.SolveLimits(ctx, edb, en.opts.Limits)
+}
+
+// SolveLimits is SolveContext with per-call limit overrides.
+func (en *Engine) SolveLimits(ctx context.Context, edb *relation.DB, lim Limits) (*relation.DB, Stats, error) {
+	if lim.MaxDuration > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, lim.MaxDuration)
+		defer cancel()
+	}
 	db := relation.NewDB(en.Schemas)
 	if edb != nil {
 		db.Join(edb)
 	}
 	en.trace = nil
 	var stats Stats
+	g := newGuard(ctx, lim, &stats)
 	for ci, c := range en.comps {
+		g.comp, g.rule = c.Preds, nil
 		if en.wfsComp[ci] {
 			stats.Components++
-			if err := en.solveWFSComponent(db, ci, &stats); err != nil {
-				return nil, stats, err
+			if err := en.runComponent(g, func() error {
+				return en.solveWFSComponent(g, db, ci, &stats)
+			}); err != nil {
+				return db, stats, err
 			}
 			continue
 		}
@@ -167,17 +196,32 @@ func (en *Engine) Solve(edb *relation.DB) (*relation.DB, Stats, error) {
 			continue // EDB-only component
 		}
 		stats.Components++
-		var err error
-		if en.opts.Strategy == Naive {
-			err = en.solveNaive(db, c, ps, &stats)
-		} else {
-			err = en.solveSemiNaive(db, c, ps, &stats)
-		}
+		err := en.runComponent(g, func() error {
+			if en.opts.Strategy == Naive {
+				return en.solveNaive(g, db, c, ps, &stats)
+			}
+			return en.solveSemiNaive(g, db, c, ps, &stats)
+		})
 		if err != nil {
-			return nil, stats, err
+			return db, stats, err
 		}
 	}
 	return db, stats, nil
+}
+
+// runComponent wraps one component's evaluation in a recover boundary:
+// an internal panic (an engine bug, or a pathological program tripping
+// one) becomes an *EngineError wrapping ErrInternal with rule/round
+// context instead of crashing the host process.
+func (en *Engine) runComponent(g *guard, fn func() error) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			e := g.fail(ErrInternal, fmt.Errorf("panic: %v", r))
+			e.Stack = debug.Stack()
+			err = e
+		}
+	}()
+	return fn()
 }
 
 // headTuple extracts the head instantiation from a completed environment.
@@ -207,7 +251,7 @@ func headTuple(p *plan, e *env) (args []val.T, cost lattice.Elem, err error) {
 
 // solveNaive iterates J ← T_P(J, I) until lattice equality (within
 // Epsilon) over the component's predicates.
-func (en *Engine) solveNaive(db *relation.DB, c *deps.Component, ps []*plan, stats *Stats) error {
+func (en *Engine) solveNaive(g *guard, db *relation.DB, c *deps.Component, ps []*plan, stats *Stats) error {
 	// EDB rows supplied for component predicates behave as part of I and
 	// must survive the per-round relation replacement.
 	seed := map[ast.PredKey]*relation.Relation{}
@@ -218,13 +262,17 @@ func (en *Engine) solveNaive(db *relation.DB, c *deps.Component, ps []*plan, sta
 	}
 	for round := 0; ; round++ {
 		if round >= en.opts.MaxRounds {
-			return fmt.Errorf("core: component %v did not reach a fixpoint within %d rounds (ω-limit program? set Epsilon, §6.2)", c.Preds, en.opts.MaxRounds)
+			return g.maxRounds(en.opts.MaxRounds)
+		}
+		if err := g.poll(); err != nil {
+			return err
 		}
 		stats.Rounds++
 		out := relation.NewDB(db.Schemas)
-		ev := &evaluator{db: db, trace: en.opts.Trace}
+		ev := &evaluator{db: db, trace: en.opts.Trace, check: g.check}
 		for _, p := range ps {
 			p := p
+			g.rule = p.rule
 			err := ev.run(p, func(e *env) error {
 				args, cost, err := headTuple(p, e)
 				if err != nil {
@@ -238,6 +286,15 @@ func (en *Engine) solveNaive(db *relation.DB, c *deps.Component, ps []*plan, sta
 					stats.Derived++
 					if en.opts.Trace {
 						en.recordTrace(p, e, args)
+					}
+					// Improvement relative to the previous round's
+					// interpretation (a plain re-derivation of a known
+					// tuple is budget work but not progress).
+					cur, _ := rel.Get(args)
+					old, had := db.Rel(p.head.pred).Get(args)
+					improved := !had || (rel.Info.HasCost && !lattice.Eq(rel.Info.L, old.Cost, cur.Cost))
+					if err := g.derived(p.head.pred, args, cur.Cost, rel.Info.HasCost, improved); err != nil {
+						return err
 					}
 				}
 				return nil
@@ -307,8 +364,8 @@ func (d *deltaSet) preds() []ast.PredKey {
 // whose CDB inputs changed: rules with positive CDB scans run once per
 // changed-scan seed; rules referencing CDB predicates inside aggregates
 // re-run (group-restricted where possible) when such a predicate changed.
-func (en *Engine) solveSemiNaive(db *relation.DB, c *deps.Component, ps []*plan, stats *Stats) error {
-	return en.semiNaiveLoop(db, c, ps, stats, nil, nil)
+func (en *Engine) solveSemiNaive(g *guard, db *relation.DB, c *deps.Component, ps []*plan, stats *Stats) error {
+	return en.semiNaiveLoop(g, db, c, ps, stats, nil, nil)
 }
 
 // semiNaiveLoop runs the Δ-driven fixpoint. When init is nil, round 0
@@ -316,7 +373,7 @@ func (en *Engine) solveSemiNaive(db *relation.DB, c *deps.Component, ps []*plan,
 // (the incremental SolveMore case, where init holds newly added EDB rows
 // and derivations recorded by lower components). record, when non-nil,
 // mirrors every derived change outward (for cross-component seeding).
-func (en *Engine) semiNaiveLoop(db *relation.DB, c *deps.Component, ps []*plan, stats *Stats, init *deltaSet, record func(ast.PredKey, relation.Row)) error {
+func (en *Engine) semiNaiveLoop(g *guard, db *relation.DB, c *deps.Component, ps []*plan, stats *Stats, init *deltaSet, record func(ast.PredKey, relation.Row)) error {
 	delta := newDeltaSet()
 	insert := func(p *plan, e *env) error {
 		args, cost, err := headTuple(p, e)
@@ -334,16 +391,23 @@ func (en *Engine) semiNaiveLoop(db *relation.DB, c *deps.Component, ps []*plan, 
 			if en.opts.Trace {
 				en.recordTrace(p, e, args)
 			}
+			if err := g.derived(p.head.pred, args, row.Cost, rel.Info.HasCost, true); err != nil {
+				return err
+			}
 		}
 		return nil
 	}
 
 	if init == nil {
 		// Round 0: fire everything.
+		if err := g.poll(); err != nil {
+			return err
+		}
 		stats.Rounds++
-		ev := &evaluator{db: db, trace: en.opts.Trace}
+		ev := &evaluator{db: db, trace: en.opts.Trace, check: g.check}
 		for _, p := range ps {
 			p := p
+			g.rule = p.rule
 			if err := ev.run(p, func(e *env) error { return insert(p, e) }); err != nil {
 				return err
 			}
@@ -355,13 +419,17 @@ func (en *Engine) semiNaiveLoop(db *relation.DB, c *deps.Component, ps []*plan, 
 
 	for round := 1; !delta.empty(); round++ {
 		if round >= en.opts.MaxRounds {
-			return fmt.Errorf("core: component %v did not reach a fixpoint within %d rounds (ω-limit program? set Epsilon, §6.2)", c.Preds, en.opts.MaxRounds)
+			return g.maxRounds(en.opts.MaxRounds)
+		}
+		if err := g.poll(); err != nil {
+			return err
 		}
 		stats.Rounds++
 		prev := delta
 		delta = newDeltaSet()
 		for _, p := range ps {
 			p := p
+			g.rule = p.rule
 			// Aggregate-driven re-run when an aggregated predicate
 			// changed: restricted to the changed groups when every
 			// grouping variable can be recovered from the changed rows,
@@ -372,7 +440,7 @@ func (en *Engine) semiNaiveLoop(db *relation.DB, c *deps.Component, ps []*plan, 
 				if en.opts.DisableGroupDelta {
 					groups, restricted = nil, false
 				}
-				ev := &evaluator{db: db, aggGroups: groups, trace: en.opts.Trace}
+				ev := &evaluator{db: db, aggGroups: groups, trace: en.opts.Trace, check: g.check}
 				if err := ev.run(p, func(e *env) error { return insert(p, e) }); err != nil {
 					return err
 				}
@@ -387,7 +455,7 @@ func (en *Engine) semiNaiveLoop(db *relation.DB, c *deps.Component, ps []*plan, 
 			for _, k := range prev.preds() {
 				rows := prev.rows[k]
 				for _, si := range p.scanSteps[k] {
-					ev := &evaluator{db: db, restrictStep: si, restrictRows: rows, trace: en.opts.Trace}
+					ev := &evaluator{db: db, restrictStep: si, restrictRows: rows, trace: en.opts.Trace, check: g.check}
 					if err := ev.run(p, func(e *env) error { return insert(p, e) }); err != nil {
 						return err
 					}

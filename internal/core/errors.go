@@ -1,0 +1,315 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/ast"
+	"repro/internal/enginerr"
+	"repro/internal/lattice"
+	"repro/internal/val"
+)
+
+// Sentinel error classes, testable with errors.Is against any error
+// returned by Solve/SolveContext. They alias the shared internal set so
+// the WFS fallback and the stable-model enumerator report the same
+// classes without an import cycle.
+var (
+	ErrCanceled       = enginerr.ErrCanceled
+	ErrBudgetExceeded = enginerr.ErrBudgetExceeded
+	ErrDiverged       = enginerr.ErrDiverged
+	ErrInternal       = enginerr.ErrInternal
+)
+
+// Limits bounds one Solve call. The zero value means "no limits" (the
+// divergence detector still runs at its default threshold; set
+// DivergenceStreak < 0 to disable it).
+type Limits struct {
+	// MaxFacts caps the number of tuple derivations across the whole
+	// solve (stats.Derived); 0 means unlimited. Under the naive
+	// strategy every round re-derives the interpretation, so the
+	// budget counts derivation work, not distinct tuples.
+	MaxFacts int64
+	// MaxDuration is a per-solve wall-clock deadline; 0 means none.
+	MaxDuration time.Duration
+	// CheckEvery is the cancellation-poll granularity in rule firings
+	// (default 4096). Smaller values notice cancellation sooner at a
+	// slight throughput cost.
+	CheckEvery int
+	// DivergenceStreak is the ω-limit detector threshold: evaluation
+	// fails with ErrDiverged once the same atom improves this many
+	// consecutive times with no other atom improving in between — the
+	// signature of a fixpoint at ω (Example 5.1). 0 means the default
+	// (1000); negative disables the detector.
+	DivergenceStreak int
+}
+
+const (
+	defaultCheckEvery       = 4096
+	defaultDivergenceStreak = 1000
+	divergenceTrajectoryLen = 8
+)
+
+// Divergence describes an ω-limit signature: one aggregate group whose
+// cost kept improving round after round without the rest of the
+// interpretation changing.
+type Divergence struct {
+	// Pred and Group identify the offending atom (the group key of the
+	// aggregate that keeps improving).
+	Pred  ast.PredKey
+	Group []val.T
+	// Streak is the number of consecutive improvements observed.
+	Streak int
+	// Recent is the recent cost trajectory (oldest first), recorded
+	// for numeric lattices only.
+	Recent []float64
+}
+
+// Atom renders the diverging group as pred(args).
+func (d *Divergence) Atom() string {
+	parts := make([]string, len(d.Group))
+	for i, a := range d.Group {
+		parts[i] = a.String()
+	}
+	return fmt.Sprintf("%s(%s)", d.Pred.Name(), strings.Join(parts, ", "))
+}
+
+// EngineError is the structured failure of a bounded evaluation. It
+// wraps one of the sentinel classes (ErrCanceled, ErrBudgetExceeded,
+// ErrDiverged, ErrInternal) and carries enough context to diagnose the
+// failure: the component being evaluated, how far the fixpoint got, and
+// the last atom that improved. Solve returns the partial interpretation
+// alongside it, so no work is lost.
+type EngineError struct {
+	// Err is the sentinel class; errors.Is(e, core.ErrCanceled) etc.
+	// see through it.
+	Err error
+	// Component lists the predicates of the component being evaluated.
+	Component []ast.PredKey
+	// Rule is the rule being fired when the failure surfaced, when
+	// known (always set for contained panics).
+	Rule string
+	// Round, Firings and Derived snapshot Stats at failure time.
+	Round   int
+	Firings int64
+	Derived int64
+	// Limit is the breached bound (MaxFacts or MaxRounds), when any.
+	Limit int64
+	// LastImproved is the most recently improved atom, rendered as
+	// pred(args) = cost.
+	LastImproved string
+	// Divergence is set when the ω-limit detector fired.
+	Divergence *Divergence
+	// Cause is the underlying error: ctx.Err() for cancellations, the
+	// recovered panic for ErrInternal, or a lower engine's error.
+	Cause error
+	// Stack is the goroutine stack of a contained panic.
+	Stack []byte
+}
+
+func (e *EngineError) Error() string {
+	var b strings.Builder
+	switch {
+	case errors.Is(e.Err, ErrCanceled):
+		fmt.Fprintf(&b, "core: evaluation canceled on component %v after %d rounds (%d firings, %d derived)",
+			e.Component, e.Round, e.Firings, e.Derived)
+	case errors.Is(e.Err, ErrBudgetExceeded):
+		fmt.Fprintf(&b, "core: derivation budget exceeded on component %v: %d tuples derived (limit %d) after %d rounds",
+			e.Component, e.Derived, e.Limit, e.Round)
+	case errors.Is(e.Err, ErrDiverged):
+		if d := e.Divergence; d != nil {
+			fmt.Fprintf(&b, "core: component %v appears to diverge: %s improved %d consecutive times with nothing else changing",
+				e.Component, d.Atom(), d.Streak)
+			if len(d.Recent) > 0 {
+				fmt.Fprintf(&b, " (recent costs %v)", d.Recent)
+			}
+			b.WriteString("; its least fixpoint may lie at ω (Example 5.1) — set Epsilon (§6.2)")
+		} else {
+			fmt.Fprintf(&b, "core: component %v did not reach a fixpoint within %d rounds (ω-limit program? set Epsilon, §6.2)",
+				e.Component, e.Limit)
+		}
+	case errors.Is(e.Err, ErrInternal):
+		fmt.Fprintf(&b, "core: internal panic contained in component %v (round %d)", e.Component, e.Round)
+	default:
+		fmt.Fprintf(&b, "core: evaluation failed on component %v (round %d)", e.Component, e.Round)
+	}
+	if e.Rule != "" {
+		fmt.Fprintf(&b, "; rule %q", e.Rule)
+	}
+	if e.LastImproved != "" {
+		fmt.Fprintf(&b, "; last improved %s", e.LastImproved)
+	}
+	if e.Cause != nil {
+		fmt.Fprintf(&b, ": %v", e.Cause)
+	}
+	return b.String()
+}
+
+// Unwrap exposes both the sentinel class and the underlying cause to
+// errors.Is/errors.As.
+func (e *EngineError) Unwrap() []error {
+	out := []error{e.Err}
+	if e.Cause != nil {
+		out = append(out, e.Cause)
+	}
+	return out
+}
+
+// guard enforces one solve's limits: cooperative cancellation, the
+// derivation budget, and the ω-limit divergence detector. The fixpoint
+// loops poll it at round boundaries and (through evaluator.check) every
+// CheckEvery firings, and report every derivation to it.
+type guard struct {
+	ctx        context.Context
+	maxFacts   int64
+	checkEvery int
+	stats      *Stats
+	det        divergeDetector
+	// comp and rule track the engine's current position for error
+	// reporting; lastImproved is the latest improved atom.
+	comp         []ast.PredKey
+	rule         *ast.Rule
+	lastImproved string
+	polls        int
+}
+
+func newGuard(ctx context.Context, lim Limits, stats *Stats) *guard {
+	g := &guard{ctx: ctx, maxFacts: lim.MaxFacts, checkEvery: lim.CheckEvery, stats: stats}
+	if g.checkEvery <= 0 {
+		g.checkEvery = defaultCheckEvery
+	}
+	g.det.threshold = lim.DivergenceStreak
+	if g.det.threshold == 0 {
+		g.det.threshold = defaultDivergenceStreak
+	}
+	return g
+}
+
+// fail builds an EngineError snapshotting the guard's position.
+func (g *guard) fail(class, cause error) *EngineError {
+	e := &EngineError{
+		Err:          class,
+		Component:    g.comp,
+		Round:        g.stats.Rounds,
+		Firings:      g.stats.Firings,
+		Derived:      g.stats.Derived,
+		LastImproved: g.lastImproved,
+		Cause:        cause,
+	}
+	if g.rule != nil {
+		e.Rule = g.rule.String()
+	}
+	return e
+}
+
+// poll checks for cancellation (context cancel, SIGINT via the caller's
+// context, or the MaxDuration deadline — SolveContext folds MaxDuration
+// into the context).
+func (g *guard) poll() error {
+	select {
+	case <-g.ctx.Done():
+		return g.fail(ErrCanceled, g.ctx.Err())
+	default:
+		return nil
+	}
+}
+
+// check is handed to evaluators and polls every checkEvery firings, so
+// cancellation is noticed even inside one long round.
+func (g *guard) check() error {
+	g.polls++
+	if g.polls%g.checkEvery != 0 {
+		return nil
+	}
+	return g.poll()
+}
+
+// derived is called after every counted derivation. improved reports
+// whether the tuple's lattice value actually changed relative to the
+// current interpretation (always true in the semi-naive strategy, where
+// only changes are counted).
+func (g *guard) derived(pred ast.PredKey, args []val.T, cost lattice.Elem, hasCost, improved bool) error {
+	if improved {
+		g.lastImproved = renderAtom(pred, args, cost, hasCost)
+	}
+	if g.maxFacts > 0 && g.stats.Derived > g.maxFacts {
+		e := g.fail(ErrBudgetExceeded, nil)
+		e.Limit = g.maxFacts
+		return e
+	}
+	if improved {
+		if d := g.det.observe(pred, args, cost, hasCost); d != nil {
+			e := g.fail(ErrDiverged, nil)
+			e.Divergence = d
+			return e
+		}
+	}
+	return nil
+}
+
+// maxRounds builds the round-bound breach error.
+func (g *guard) maxRounds(limit int) *EngineError {
+	e := g.fail(ErrDiverged, nil)
+	e.Limit = int64(limit)
+	return e
+}
+
+func renderAtom(pred ast.PredKey, args []val.T, cost lattice.Elem, hasCost bool) string {
+	parts := make([]string, len(args))
+	for i, a := range args {
+		parts[i] = a.String()
+	}
+	s := fmt.Sprintf("%s(%s)", pred.Name(), strings.Join(parts, ", "))
+	if hasCost {
+		s += " = " + cost.String()
+	}
+	return s
+}
+
+// divergeDetector watches for the ω-limit signature of §5/§6.2: the
+// same atom (aggregate group) improving over and over while nothing
+// else changes. Legitimate convergent programs interleave improvements
+// across atoms, resetting the streak; the halfsum program of Example
+// 5.1 improves a single group forever and trips the threshold.
+type divergeDetector struct {
+	threshold int
+	lastKey   string
+	streak    int
+	pred      ast.PredKey
+	args      []val.T
+	recent    []float64
+}
+
+func (d *divergeDetector) observe(pred ast.PredKey, args []val.T, cost lattice.Elem, hasCost bool) *Divergence {
+	if d.threshold <= 0 {
+		return nil
+	}
+	key := string(pred) + "\x00" + val.KeyOf(args)
+	if key != d.lastKey {
+		d.lastKey = key
+		d.streak = 0
+		d.pred = pred
+		d.args = append(d.args[:0], args...)
+		d.recent = d.recent[:0]
+	}
+	d.streak++
+	if hasCost && cost.Kind == val.Num {
+		if len(d.recent) == divergenceTrajectoryLen {
+			copy(d.recent, d.recent[1:])
+			d.recent = d.recent[:divergenceTrajectoryLen-1]
+		}
+		d.recent = append(d.recent, cost.N)
+	}
+	if d.streak < d.threshold {
+		return nil
+	}
+	return &Divergence{
+		Pred:   d.pred,
+		Group:  append([]val.T{}, d.args...),
+		Streak: d.streak,
+		Recent: append([]float64{}, d.recent...),
+	}
+}

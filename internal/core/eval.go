@@ -45,6 +45,10 @@ type evaluator struct {
 	// trace makes aggregate steps record their contributing atoms into
 	// the environment for provenance capture.
 	trace bool
+	// check, when non-nil, is polled on every firing (the guard
+	// rate-limits the actual cancellation test), so one long round
+	// cannot outrun a deadline or a Ctrl-C.
+	check func() error
 	// stats counters.
 	firings int64
 }
@@ -59,6 +63,11 @@ func (ev *evaluator) run(p *plan, emit func(*env) error) error {
 func (ev *evaluator) step(p *plan, i int, e *env, emit func(*env) error) error {
 	if i == len(p.steps) {
 		ev.firings++
+		if ev.check != nil {
+			if err := ev.check(); err != nil {
+				return err
+			}
+		}
 		return emit(e)
 	}
 	switch s := p.steps[i].(type) {

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/ast"
@@ -23,7 +24,21 @@ import (
 // fallback (negation is not insert-monotone). The previous model is not
 // modified; the returned database extends a copy of it.
 func (en *Engine) SolveMore(prev *relation.DB, added *relation.DB) (*relation.DB, Stats, error) {
+	return en.SolveMoreContext(context.Background(), prev, added)
+}
+
+// SolveMoreContext is SolveMore with cooperative cancellation and the
+// engine's resource limits; on a limit breach it returns the partially
+// extended model alongside the *EngineError.
+func (en *Engine) SolveMoreContext(ctx context.Context, prev *relation.DB, added *relation.DB) (*relation.DB, Stats, error) {
 	var stats Stats
+	lim := en.opts.Limits
+	if lim.MaxDuration > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, lim.MaxDuration)
+		defer cancel()
+	}
+	g := newGuard(ctx, lim, &stats)
 	for _, w := range en.wfsComp {
 		if w {
 			return nil, stats, fmt.Errorf("core: SolveMore is unsound with well-founded fallback components (negation is not insert-monotone)")
@@ -91,11 +106,14 @@ func (en *Engine) SolveMore(prev *relation.DB, added *relation.DB) (*relation.DB
 			continue
 		}
 		stats.Components++
-		err := en.semiNaiveLoop(db, c, ps, &stats, seed, func(k ast.PredKey, row relation.Row) {
-			changed.add(k, row)
+		g.comp, g.rule = c.Preds, nil
+		err := en.runComponent(g, func() error {
+			return en.semiNaiveLoop(g, db, c, ps, &stats, seed, func(k ast.PredKey, row relation.Row) {
+				changed.add(k, row)
+			})
 		})
 		if err != nil {
-			return nil, stats, err
+			return db, stats, err
 		}
 	}
 	return db, stats, nil

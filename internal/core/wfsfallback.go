@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 
 	"repro/internal/ast"
@@ -19,7 +20,7 @@ import (
 // well-founded model must be two-valued on the component's predicates,
 // and its true atoms become part of the base interpretation I for the
 // components above.
-func (en *Engine) solveWFSComponent(db *relation.DB, ci int, stats *Stats) error {
+func (en *Engine) solveWFSComponent(g *guard, db *relation.DB, ci int, stats *Stats) error {
 	c := en.comps[ci]
 	rules := deps.RulesOfComponent(en.Prog, c)
 	sub := &ast.Program{Rules: append([]*ast.Rule{}, rules...)}
@@ -46,8 +47,15 @@ func (en *Engine) solveWFSComponent(db *relation.DB, ci int, stats *Stats) error
 		})
 	}
 
-	res, err := wfs.Solve(sub, wfs.Options{})
+	res, err := wfs.SolveContext(g.ctx, sub, wfs.Options{})
 	if err != nil {
+		// Limit breaches keep their structured class; everything else
+		// (e.g. a genuinely three-valued model) stays a plain error.
+		for _, class := range []error{ErrCanceled, ErrBudgetExceeded, ErrDiverged} {
+			if errors.Is(err, class) {
+				return g.fail(class, err)
+			}
+		}
 		return fmt.Errorf("core: well-founded fallback on component %v: %w", c.Preds, err)
 	}
 	stats.Rounds += res.Iterations

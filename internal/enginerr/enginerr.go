@@ -1,0 +1,35 @@
+// Package enginerr holds the sentinel error classes shared by every
+// evaluation engine in the repository (the core fixpoint engine, the
+// well-founded-semantics engine, and the stable-model enumerator).
+//
+// It is a leaf package: core imports wfs (for the §6.3 fallback) and
+// stable imports both, so the common failure vocabulary has to live
+// below all of them. Callers classify failures with errors.Is; the
+// public surface re-exports these values as core.ErrCanceled etc. and
+// datalog.ErrCanceled etc.
+package enginerr
+
+import "errors"
+
+var (
+	// ErrCanceled marks a cooperative stop: the caller's context was
+	// canceled or its deadline (or the engine's MaxDuration) expired.
+	// Partial results computed before the stop are still returned.
+	ErrCanceled = errors.New("evaluation canceled")
+
+	// ErrBudgetExceeded marks a resource-budget breach (derived-tuple
+	// budget in the fixpoint engine, atom-universe cap in the WFS
+	// engine). Partial results are still returned.
+	ErrBudgetExceeded = errors.New("resource budget exceeded")
+
+	// ErrDiverged marks non-convergent recursion: either a fixpoint
+	// round bound was exhausted, or the ω-limit detector saw the same
+	// aggregate group improve indefinitely (Example 5.1 of Ross &
+	// Sagiv; the practical remedy is an Epsilon tolerance, §6.2).
+	ErrDiverged = errors.New("evaluation diverged")
+
+	// ErrInternal marks a contained internal panic: a bug in the engine
+	// (or a pathological program tripping one) that was converted into
+	// an error instead of crashing the host process.
+	ErrInternal = errors.New("internal engine failure")
+)

@@ -1,13 +1,17 @@
 package parser
 
 import (
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
 
 // FuzzParse checks that the parser never panics and that accepted inputs
-// survive a print/reparse round trip. `go test` exercises the seed
-// corpus; `go test -fuzz=FuzzParse ./internal/parser` explores further.
+// survive a print/reparse round trip. The seed corpus mixes hand-picked
+// grammar corners with every shipped example program. `go test`
+// exercises the seeds; `go test -fuzz=FuzzParse ./internal/parser`
+// explores further.
 func FuzzParse(f *testing.F) {
 	seeds := []string{
 		"p(a).",
@@ -29,6 +33,21 @@ func FuzzParse(f *testing.F) {
 	}
 	for _, s := range seeds {
 		f.Add(s)
+	}
+	dir := filepath.Join("..", "..", "examples", "programs")
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		f.Fatalf("reading example programs: %v", err)
+	}
+	for _, e := range entries {
+		if e.IsDir() || filepath.Ext(e.Name()) != ".mdl" {
+			continue
+		}
+		src, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			f.Fatalf("reading %s: %v", e.Name(), err)
+		}
+		f.Add(string(src))
 	}
 	f.Fuzz(func(t *testing.T, src string) {
 		prog, err := Parse(src)

@@ -10,11 +10,13 @@
 package stable
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
 	"repro/internal/ast"
 	"repro/internal/core"
+	"repro/internal/enginerr"
 	"repro/internal/relation"
 	"repro/internal/val"
 	"repro/internal/wfs"
@@ -63,6 +65,13 @@ func IsMonotonicStable(prog *ast.Program, edb *relation.DB, m *relation.DB, opts
 // candidate (typically the EDB); the remaining atoms are toggled. The
 // search is exponential and guarded by maxFree.
 func Enumerate(prog *ast.Program, candidates *wfs.Store, fixed map[ast.PredKey]bool, maxFree int, opts wfs.Options) ([]*wfs.Store, error) {
+	return EnumerateContext(context.Background(), prog, candidates, fixed, maxFree, opts)
+}
+
+// EnumerateContext is Enumerate with cooperative cancellation: the
+// candidate loop polls ctx and, when it fires, returns the stable
+// models found so far alongside an error wrapping core.ErrCanceled.
+func EnumerateContext(ctx context.Context, prog *ast.Program, candidates *wfs.Store, fixed map[ast.PredKey]bool, maxFree int, opts wfs.Options) ([]*wfs.Store, error) {
 	type atom struct {
 		k    ast.PredKey
 		args []val.T
@@ -86,6 +95,12 @@ func Enumerate(prog *ast.Program, candidates *wfs.Store, fixed map[ast.PredKey]b
 	var out []*wfs.Store
 	total := 1 << len(free)
 	for mask := 0; mask < total; mask++ {
+		select {
+		case <-ctx.Done():
+			sort.Slice(out, func(i, j int) bool { return out[i].Len() < out[j].Len() })
+			return out, fmt.Errorf("stable: enumeration canceled after %d/%d candidates: %w (%v)", mask, total, enginerr.ErrCanceled, ctx.Err())
+		default:
+		}
 		m := base.Clone()
 		for i, a := range free {
 			if mask&(1<<i) != 0 {

@@ -1,9 +1,11 @@
 package wfs
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/ast"
+	"repro/internal/enginerr"
 	"repro/internal/val"
 )
 
@@ -89,22 +91,32 @@ func (r *Result) UndefinedCount() int { return r.Possible.Len() - r.True.Len() }
 // possibility sets. Normal programs (no aggregates) get the classic Van
 // Gelder–Ross–Schlipf alternating fixpoint.
 func Solve(prog *ast.Program, opts Options) (*Result, error) {
+	return SolveContext(context.Background(), prog, opts)
+}
+
+// SolveContext is Solve with cooperative cancellation: the alternating
+// fixpoint and every inner lfp poll ctx and stop with an error wrapping
+// enginerr.ErrCanceled (core.ErrCanceled) when it fires.
+func SolveContext(ctx context.Context, prog *ast.Program, opts Options) (*Result, error) {
 	opts.defaults()
 
-	u, err := lfp(relaxedProgram(prog), &semantics{negFalseIn: NewStore(), mode: aggDefinite, low: NewStore(), high: NewStore()}, opts)
+	u, err := lfp(ctx, relaxedProgram(prog), &semantics{negFalseIn: NewStore(), mode: aggDefinite, low: NewStore(), high: NewStore()}, opts)
 	if err != nil {
 		return nil, err
 	}
 	k := NewStore()
 	for iter := 1; ; iter++ {
 		if iter > opts.MaxIters {
-			return nil, fmt.Errorf("wfs: alternation did not converge within %d rounds", opts.MaxIters)
+			return nil, fmt.Errorf("wfs: alternation did not converge within %d rounds: %w", opts.MaxIters, enginerr.ErrDiverged)
 		}
-		k2, err := lfp(prog, &semantics{negFalseIn: u, mode: aggDefinite, low: k, high: u}, opts)
+		if err := ctxErr(ctx); err != nil {
+			return nil, err
+		}
+		k2, err := lfp(ctx, prog, &semantics{negFalseIn: u, mode: aggDefinite, low: k, high: u}, opts)
 		if err != nil {
 			return nil, err
 		}
-		u2, err := lfp(prog, &semantics{negFalseIn: k2, mode: aggOptimistic, low: k2, high: u}, opts)
+		u2, err := lfp(ctx, prog, &semantics{negFalseIn: k2, mode: aggOptimistic, low: k2, high: u}, opts)
 		if err != nil {
 			return nil, err
 		}
@@ -112,6 +124,16 @@ func Solve(prog *ast.Program, opts Options) (*Result, error) {
 			return &Result{True: k2, Possible: u2, Iterations: iter}, nil
 		}
 		k, u = k2, u2
+	}
+}
+
+// ctxErr converts a fired context into the shared cancellation class.
+func ctxErr(ctx context.Context) error {
+	select {
+	case <-ctx.Done():
+		return fmt.Errorf("wfs: %w: %w", enginerr.ErrCanceled, ctx.Err())
+	default:
+		return nil
 	}
 }
 
@@ -175,22 +197,25 @@ func relaxedProgram(prog *ast.Program) *ast.Program {
 // total model m is stable iff ReductLfp(prog, m) equals m.
 func ReductLfp(prog *ast.Program, m *Store, opts Options) (*Store, error) {
 	opts.defaults()
-	return lfp(prog, &semantics{negFalseIn: m, mode: aggDefinite, low: m, high: m}, opts)
+	return lfp(context.Background(), prog, &semantics{negFalseIn: m, mode: aggDefinite, low: m, high: m}, opts)
 }
 
 // lfp computes the least fixpoint of the immediate-consequence operator
 // under the given (frozen) semantics: starting empty, rules fire against
 // the growing store until nothing new is derivable.
-func lfp(prog *ast.Program, sem *semantics, opts Options) (*Store, error) {
+func lfp(ctx context.Context, prog *ast.Program, sem *semantics, opts Options) (*Store, error) {
 	grow := NewStore()
 	sem.grow = grow
 	for iter := 0; ; iter++ {
 		if iter > opts.MaxIters {
-			return nil, fmt.Errorf("wfs: inner fixpoint did not converge within %d rounds", opts.MaxIters)
+			return nil, fmt.Errorf("wfs: inner fixpoint did not converge within %d rounds: %w", opts.MaxIters, enginerr.ErrDiverged)
 		}
 		changed := false
 		for _, r := range prog.Rules {
 			r := r
+			if err := ctxErr(ctx); err != nil {
+				return nil, err
+			}
 			err := evalRule(r, sem, func(sb subst) error {
 				args, err := groundArgs(&r.Head, sb)
 				if err != nil {
@@ -200,7 +225,7 @@ func lfp(prog *ast.Program, sem *semantics, opts Options) (*Store, error) {
 					changed = true
 				}
 				if grow.Len() > opts.MaxAtoms {
-					return fmt.Errorf("wfs: atom universe exceeded %d (diverging input — the set-based treatment of costs is infinite here, §5.3)", opts.MaxAtoms)
+					return fmt.Errorf("wfs: atom universe exceeded %d (diverging input — the set-based treatment of costs is infinite here, §5.3): %w", opts.MaxAtoms, enginerr.ErrBudgetExceeded)
 				}
 				return nil
 			})
