@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: all build vet test race fuzz ci clean
+.PHONY: all build vet test race fuzz crash-test ci clean
 
 all: build
 
@@ -17,12 +17,20 @@ test:
 race:
 	$(GO) test -race ./...
 
-# Short coverage-guided fuzz run over the parser; the seed corpus alone
-# runs under plain `make test`.
+# Short coverage-guided fuzz runs over the parser and the snapshot
+# decoder; the seed corpora alone run under plain `make test`.
 fuzz:
 	$(GO) test ./internal/parser -run '^$$' -fuzz '^FuzzParse$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/snapshot -run '^$$' -fuzz '^FuzzSnapshotRoundTrip$$' -fuzztime $(FUZZTIME)
 
-ci: vet build race fuzz
+# Crash-recovery suite under the race detector: fault-injected crashes
+# mid-fixpoint, torn checkpoint files, failing sinks, and the
+# checkpoint/resume differential over every example program.
+crash-test:
+	$(GO) test -race -run 'Checkpoint|CrashRecovery|Resume|Snapshot|Torn' ./internal/core ./internal/snapshot ./datalog ./cmd/mdl
+	$(GO) test -race ./internal/faults
+
+ci: vet build race fuzz crash-test
 
 clean:
 	$(GO) clean ./...

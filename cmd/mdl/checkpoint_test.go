@@ -1,0 +1,125 @@
+package main
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/faults"
+)
+
+// spLong is the shortest-path program over a chain long enough that a
+// small -max-facts budget interrupts it mid-fixpoint.
+const spLong = shortestPath + `
+arc(c, d, 1).
+arc(d, e, 2).
+arc(e, f, 1).
+arc(f, g, 2).
+`
+
+func TestCheckpointResumeCLI(t *testing.T) {
+	f := writeProgram(t, "sp.mdl", spLong)
+	want, _, code := runMdl(t, f)
+	if code != exitOK {
+		t.Fatalf("one-shot run exited %d", code)
+	}
+
+	ckpt := filepath.Join(t.TempDir(), "run.ckpt")
+	_, errOut, code := runMdl(t, "-max-facts", "4", "-checkpoint", ckpt, f)
+	if code != exitEval {
+		t.Fatalf("interrupted run exited %d, want %d\n%s", code, exitEval, errOut)
+	}
+	if !strings.Contains(errOut, "-resume") {
+		t.Fatalf("stderr must point at -resume:\n%s", errOut)
+	}
+	if _, err := os.Stat(ckpt); err != nil {
+		t.Fatalf("checkpoint file missing after interrupt: %v", err)
+	}
+
+	// Resume to convergence; the printed model must match the one-shot run.
+	out, errOut, code := runMdl(t, "-resume", ckpt, "-checkpoint", ckpt, f)
+	if code != exitOK {
+		t.Fatalf("resumed run exited %d\n%s", code, errOut)
+	}
+	if out != want {
+		t.Fatalf("resumed model differs from one-shot run:\n%s\nwant:\n%s", out, want)
+	}
+}
+
+func TestResumeCorruptCheckpoint(t *testing.T) {
+	f := writeProgram(t, "sp.mdl", spLong)
+	ckpt := filepath.Join(t.TempDir(), "bad.ckpt")
+	if err := os.WriteFile(ckpt, []byte("not a snapshot"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, errOut, code := runMdl(t, "-resume", ckpt, f)
+	if code != exitCheckpoint {
+		t.Fatalf("corrupt resume exited %d, want %d\n%s", code, exitCheckpoint, errOut)
+	}
+}
+
+func TestResumeFingerprintMismatch(t *testing.T) {
+	f := writeProgram(t, "sp.mdl", spLong)
+	ckpt := filepath.Join(t.TempDir(), "run.ckpt")
+	if _, errOut, code := runMdl(t, "-checkpoint", ckpt, f); code != exitOK {
+		t.Fatalf("checkpointed run exited %d\n%s", code, errOut)
+	}
+	// A different program (one extra fact) must refuse the checkpoint.
+	g := writeProgram(t, "sp2.mdl", spLong+"arc(g, h, 1).\n")
+	_, errOut, code := runMdl(t, "-resume", ckpt, g)
+	if code != exitCheckpoint {
+		t.Fatalf("fingerprint mismatch exited %d, want %d\n%s", code, exitCheckpoint, errOut)
+	}
+	if !strings.Contains(errOut, "fingerprint") {
+		t.Fatalf("stderr must name the fingerprint mismatch:\n%s", errOut)
+	}
+}
+
+func TestCheckpointSinkFailure(t *testing.T) {
+	faults.Arm(faults.Fault{Point: faults.SnapshotSinkWrite, Sticky: true})
+	defer faults.Reset()
+	f := writeProgram(t, "sp.mdl", spLong)
+	ckpt := filepath.Join(t.TempDir(), "run.ckpt")
+	_, errOut, code := runMdl(t, "-checkpoint", ckpt, f)
+	if code != exitCheckpoint {
+		t.Fatalf("sink failure exited %d, want %d\n%s", code, exitCheckpoint, errOut)
+	}
+}
+
+// TestCanceledContextFlushesCheckpoint covers the SIGINT path: a
+// canceled context stops the solve, and with -checkpoint set the final
+// state is flushed so the run is resumable.
+func TestCanceledContextFlushesCheckpoint(t *testing.T) {
+	f := writeProgram(t, "sp.mdl", spLong)
+	ckpt := filepath.Join(t.TempDir(), "run.ckpt")
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var out, errb strings.Builder
+	code := run(ctx, []string{"-checkpoint", ckpt, f}, &out, &errb)
+	if code != exitEval {
+		t.Fatalf("canceled run exited %d, want %d\n%s", code, exitEval, errb.String())
+	}
+	if _, err := os.Stat(ckpt); err != nil {
+		t.Fatalf("canceled run must flush a checkpoint: %v", err)
+	}
+	want, _, okCode := runMdl(t, f)
+	if okCode != exitOK {
+		t.Fatalf("one-shot run exited %d", okCode)
+	}
+	got, errOut, code := runMdl(t, "-resume", ckpt, f)
+	if code != exitOK {
+		t.Fatalf("resume after cancel exited %d\n%s", code, errOut)
+	}
+	if got != want {
+		t.Fatalf("resume after cancel differs:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+func TestCheckpointEveryValidation(t *testing.T) {
+	f := writeProgram(t, "sp.mdl", spLong)
+	if _, _, code := runMdl(t, "-checkpoint-every", "-1", "-checkpoint", "x", f); code != exitUsage {
+		t.Fatalf("negative -checkpoint-every must be a usage error, got %d", code)
+	}
+}

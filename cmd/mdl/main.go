@@ -19,14 +19,29 @@
 //	-wfs-fallback  evaluate negation-recursive components by WFS (§6.3)
 //	-explain atom  print the derivation tree of one ground atom, e.g.
 //	               -explain 's(a, c)' (implies tracing)
+//	-checkpoint f        durably checkpoint the evolving model to file f
+//	                     (atomic write-rename; f always holds a complete,
+//	                     verifiable snapshot)
+//	-checkpoint-every N  rounds between periodic checkpoints (default 1;
+//	                     component boundaries always checkpoint)
+//	-resume f            restore the model from checkpoint f and continue
+//	                     the fixpoint from there
 //
 // SIGINT (Ctrl-C) cancels the evaluation gracefully: the partial model
 // and statistics are printed to stderr before exiting. A breached
 // -timeout or -max-facts budget, and detected divergence (an ω-limit
-// program such as Example 5.1), behave the same way.
+// program such as Example 5.1), behave the same way. With -checkpoint
+// set, all of these flush one final checkpoint before exiting, so the
+// run can be continued with -resume.
+//
+// A checkpoint records a fingerprint of the program text; -resume
+// refuses a checkpoint written by a different program rather than ever
+// computing a wrong model.
 //
 // Exit codes: 0 success, 1 usage or I/O error, 2 parse error, 3 failed
-// static check, 4 evaluation failure.
+// static check, 4 evaluation failure, 5 checkpoint or restore failure
+// (unwritable sink, corrupt or torn checkpoint file, program
+// fingerprint mismatch).
 package main
 
 import (
@@ -46,11 +61,12 @@ import (
 // Exit codes; kept distinct so scripts can tell a bad invocation from a
 // bad program from a bad evaluation.
 const (
-	exitOK     = 0
-	exitUsage  = 1
-	exitParse  = 2
-	exitStatic = 3
-	exitEval   = 4
+	exitOK         = 0
+	exitUsage      = 1
+	exitParse      = 2
+	exitStatic     = 3
+	exitEval       = 4
+	exitCheckpoint = 5
 )
 
 func main() {
@@ -74,6 +90,9 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	unchecked := fs.Bool("unchecked", false, "skip static checks")
 	wfsFallback := fs.Bool("wfs-fallback", false, "evaluate negation-recursive components by WFS (§6.3)")
 	explain := fs.String("explain", "", "print the derivation tree of a ground atom, e.g. 's(a, c)'")
+	ckptPath := fs.String("checkpoint", "", "durably checkpoint the evolving model to this file")
+	ckptEvery := fs.Int("checkpoint-every", 1, "rounds between periodic checkpoints (with -checkpoint)")
+	resumePath := fs.String("resume", "", "resume evaluation from a checkpoint file written by -checkpoint")
 	if err := fs.Parse(args); err != nil {
 		return exitUsage
 	}
@@ -90,6 +109,9 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	}
 	if *maxFacts < 0 {
 		return usage("-max-facts must be ≥ 0")
+	}
+	if *ckptEvery < 0 {
+		return usage("-checkpoint-every must be ≥ 0")
 	}
 	timeoutSet := false
 	fs.Visit(func(f *flag.Flag) {
@@ -150,16 +172,44 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		}
 		return exitOK
 	}
-	m, st, err := p.SolveContext(ctx, nil)
+	var solveOpts []datalog.SolveOption
+	if *ckptPath != "" {
+		solveOpts = append(solveOpts, datalog.WithCheckpoint(datalog.FileCheckpoint(*ckptPath), *ckptEvery))
+	}
+	var m *datalog.Model
+	var st datalog.Stats
+	if *resumePath != "" {
+		restored, rerr := p.RestoreFile(*resumePath)
+		if rerr != nil {
+			fmt.Fprintln(stderr, "mdl:", rerr)
+			return exitCheckpoint
+		}
+		m, st, err = p.Resume(ctx, restored, solveOpts...)
+	} else {
+		m, st, err = p.SolveContext(ctx, nil, solveOpts...)
+	}
 	if err != nil {
 		fmt.Fprintln(stderr, "mdl:", err)
 		// Limit breaches keep the work done so far: print the partial
-		// model and the statistics to stderr before giving up.
+		// model and the statistics to stderr before giving up, and —
+		// when checkpointing — flush one final checkpoint so the run
+		// can continue with -resume. (Skip the flush when the failure
+		// was the checkpoint sink itself.)
 		if m != nil {
+			if *ckptPath != "" && !errors.Is(err, datalog.ErrCheckpoint) {
+				if werr := m.WriteSnapshot(*ckptPath); werr != nil {
+					fmt.Fprintln(stderr, "mdl: final checkpoint:", werr)
+					return exitCheckpoint
+				}
+				fmt.Fprintf(stderr, "mdl: checkpoint saved; continue with -resume %s\n", *ckptPath)
+			}
 			fmt.Fprintln(stderr, "partial results (not a fixpoint):")
 			fmt.Fprint(stderr, m.String())
 		}
 		printStats(stderr, st)
+		if errors.Is(err, datalog.ErrCheckpoint) {
+			return exitCheckpoint
+		}
 		return exitEval
 	}
 	if *stats {

@@ -37,6 +37,7 @@ import (
 	"repro/internal/lattice"
 	"repro/internal/parser"
 	"repro/internal/relation"
+	"repro/internal/snapshot"
 	"repro/internal/val"
 )
 
@@ -126,6 +127,7 @@ type Program struct {
 	prog *ast.Program
 	en   *core.Engine
 	lim  core.Limits
+	fp   [32]byte // snapshot fingerprint of prog (source + declarations)
 }
 
 // Load parses, checks and compiles a program. Failures are classified:
@@ -154,7 +156,7 @@ func Load(src string, opts Options) (*Program, error) {
 	if err != nil {
 		return nil, fmt.Errorf("%w: %w", ErrStatic, err)
 	}
-	return &Program{prog: prog, en: en, lim: lim}, nil
+	return &Program{prog: prog, en: en, lim: lim, fp: snapshot.Fingerprint(prog)}, nil
 }
 
 // Classification reports where the program sits on the paper's §5 ladder.
@@ -245,38 +247,51 @@ func NewFact(pred string, args ...Value) Fact {
 	return Fact{Pred: pred, Args: args}
 }
 
-// Model is a computed minimal model.
+// Model is a computed minimal model (or a partial interpretation, for
+// interrupted solves and restored checkpoints). It carries the
+// cumulative Stats of the work that produced it, so checkpoint/resume
+// chains report running totals.
 type Model struct {
 	db      *relation.DB
 	schemas ast.Schemas
 	en      *core.Engine
+	stats   Stats
+}
+
+// solveConfig collects per-call overrides; options mutate it rather
+// than core.Limits directly so that checkpointing options can be bound
+// to the program fingerprint at solve time.
+type solveConfig struct {
+	lim   core.Limits
+	sink  CheckpointSink
+	every int
 }
 
 // SolveOption tunes a single SolveContext call, overriding the
 // program-wide limits set at Load.
-type SolveOption func(*core.Limits)
+type SolveOption func(*solveConfig)
 
 // WithTimeout bounds the solve's wall clock; on expiry the solve stops
 // with ErrCanceled and the partial model.
 func WithTimeout(d time.Duration) SolveOption {
-	return func(l *core.Limits) { l.MaxDuration = d }
+	return func(c *solveConfig) { c.lim.MaxDuration = d }
 }
 
 // WithMaxFacts caps tuple derivations for the solve (ErrBudgetExceeded
 // on breach).
 func WithMaxFacts(n int64) SolveOption {
-	return func(l *core.Limits) { l.MaxFacts = n }
+	return func(c *solveConfig) { c.lim.MaxFacts = n }
 }
 
 // WithCheckEvery sets the cancellation-poll granularity in rule firings.
 func WithCheckEvery(n int) SolveOption {
-	return func(l *core.Limits) { l.CheckEvery = n }
+	return func(c *solveConfig) { c.lim.CheckEvery = n }
 }
 
 // WithDivergenceStreak sets the ω-limit detector threshold (negative
 // disables it).
 func WithDivergenceStreak(n int) SolveOption {
-	return func(l *core.Limits) { l.DivergenceStreak = n }
+	return func(c *solveConfig) { c.lim.DivergenceStreak = n }
 }
 
 // Solve evaluates the program over the given extensional facts and
@@ -298,14 +313,14 @@ func (p *Program) SolveContext(ctx context.Context, facts []Fact, opts ...SolveO
 			return nil, Stats{}, err
 		}
 	}
-	lim := p.lim
+	cfg := solveConfig{lim: p.lim}
 	for _, o := range opts {
-		o(&lim)
+		o(&cfg)
 	}
-	db, stats, err := p.en.SolveLimits(ctx, edb, lim)
+	db, stats, err := p.en.SolveLimits(ctx, edb, p.limitsFor(cfg))
 	var m *Model
 	if db != nil {
-		m = &Model{db: db, schemas: p.en.Schemas, en: p.en}
+		m = &Model{db: db, schemas: p.en.Schemas, en: p.en, stats: stats}
 	}
 	return m, stats, err
 }
@@ -356,10 +371,10 @@ func (p *Program) SolveMoreContext(ctx context.Context, m *Model, facts []Fact) 
 			return nil, Stats{}, err
 		}
 	}
-	db, stats, err := p.en.SolveMoreContext(ctx, m.db, added)
+	db, stats, err := p.en.SolveMoreFrom(ctx, m.db, added, m.stats)
 	var out *Model
 	if db != nil {
-		out = &Model{db: db, schemas: p.en.Schemas, en: p.en}
+		out = &Model{db: db, schemas: p.en.Schemas, en: p.en, stats: stats}
 	}
 	return out, stats, err
 }

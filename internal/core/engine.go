@@ -168,41 +168,81 @@ func (en *Engine) SolveContext(ctx context.Context, edb *relation.DB) (*relation
 
 // SolveLimits is SolveContext with per-call limit overrides.
 func (en *Engine) SolveLimits(ctx context.Context, edb *relation.DB, lim Limits) (*relation.DB, Stats, error) {
+	db := relation.NewDB(en.Schemas)
+	if edb != nil {
+		db.Join(edb)
+	}
+	return en.fixpoint(ctx, db, lim, Stats{})
+}
+
+// Resume continues a fixpoint from a previously checkpointed
+// interpretation (see Limits.Checkpoint): the components are re-run
+// bottom-up starting from prev instead of from the bare EDB. Because
+// T_P is monotone, every checkpoint lies between the EDB and the least
+// model, so the resumed fixpoint converges to exactly the model an
+// uninterrupted solve would have produced. base seeds the returned
+// Stats so rounds/firings/derivations stay cumulative across resumes
+// (pass the stats recorded in the checkpoint).
+//
+// The caller is responsible for resuming against the same program the
+// checkpoint came from; the snapshot layer's fingerprint enforces this
+// for durable checkpoints.
+func (en *Engine) Resume(ctx context.Context, prev *relation.DB, lim Limits, base Stats) (*relation.DB, Stats, error) {
+	// Re-home the checkpointed rows onto this engine's schemas: Join
+	// rebuilds each relation under the engine's own PredInfo, so a DB
+	// decoded with foreign schema objects cannot leak them into the
+	// evaluation.
+	db := relation.NewDB(en.Schemas)
+	if prev != nil {
+		db.Join(prev)
+	}
+	return en.fixpoint(ctx, db, lim, base)
+}
+
+// fixpoint runs the iterated fixpoint of §6.3 over db in place,
+// starting the stats from base.
+func (en *Engine) fixpoint(ctx context.Context, db *relation.DB, lim Limits, base Stats) (*relation.DB, Stats, error) {
 	if lim.MaxDuration > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, lim.MaxDuration)
 		defer cancel()
 	}
-	db := relation.NewDB(en.Schemas)
-	if edb != nil {
-		db.Join(edb)
-	}
 	en.trace = nil
-	var stats Stats
+	stats := base
 	g := newGuard(ctx, lim, &stats)
+	// Checkpoint the starting interpretation before any evaluation, so
+	// the sink holds a recoverable state even if the very first round
+	// is interrupted.
+	if err := g.checkpoint(db, true); err != nil {
+		return db, stats, err
+	}
 	for ci, c := range en.comps {
 		g.comp, g.rule = c.Preds, nil
+		var err error
 		if en.wfsComp[ci] {
 			stats.Components++
-			if err := en.runComponent(g, func() error {
+			err = en.runComponent(g, func() error {
 				return en.solveWFSComponent(g, db, ci, &stats)
-			}); err != nil {
-				return db, stats, err
+			})
+		} else {
+			ps := en.plans[ci]
+			if len(ps) == 0 {
+				continue // EDB-only component
 			}
-			continue
+			stats.Components++
+			err = en.runComponent(g, func() error {
+				if en.opts.Strategy == Naive {
+					return en.solveNaive(g, db, c, ps, &stats)
+				}
+				return en.solveSemiNaive(g, db, c, ps, &stats)
+			})
 		}
-		ps := en.plans[ci]
-		if len(ps) == 0 {
-			continue // EDB-only component
-		}
-		stats.Components++
-		err := en.runComponent(g, func() error {
-			if en.opts.Strategy == Naive {
-				return en.solveNaive(g, db, c, ps, &stats)
-			}
-			return en.solveSemiNaive(g, db, c, ps, &stats)
-		})
 		if err != nil {
+			return db, stats, err
+		}
+		// A component fixpoint is the strongest consistency boundary:
+		// always durable when checkpointing is on.
+		if err := g.checkpoint(db, true); err != nil {
 			return db, stats, err
 		}
 	}
@@ -321,6 +361,11 @@ func (en *Engine) solveNaive(g *guard, db *relation.DB, c *deps.Component, ps []
 		if same {
 			return nil
 		}
+		// db holds the completed round's interpretation: a consistent
+		// checkpoint boundary.
+		if err := g.roundBoundary(db); err != nil {
+			return err
+		}
 	}
 }
 
@@ -413,6 +458,9 @@ func (en *Engine) semiNaiveLoop(g *guard, db *relation.DB, c *deps.Component, ps
 			}
 		}
 		stats.Firings += ev.firings
+		if err := g.roundBoundary(db); err != nil {
+			return err
+		}
 	} else {
 		delta = init
 	}
@@ -462,6 +510,9 @@ func (en *Engine) semiNaiveLoop(g *guard, db *relation.DB, c *deps.Component, ps
 					stats.Firings += ev.firings
 				}
 			}
+		}
+		if err := g.roundBoundary(db); err != nil {
+			return err
 		}
 	}
 	return nil

@@ -9,7 +9,9 @@ import (
 
 	"repro/internal/ast"
 	"repro/internal/enginerr"
+	"repro/internal/faults"
 	"repro/internal/lattice"
+	"repro/internal/relation"
 	"repro/internal/val"
 )
 
@@ -22,15 +24,27 @@ var (
 	ErrBudgetExceeded = enginerr.ErrBudgetExceeded
 	ErrDiverged       = enginerr.ErrDiverged
 	ErrInternal       = enginerr.ErrInternal
+	ErrCheckpoint     = enginerr.ErrCheckpoint
 )
+
+// CheckpointFunc receives the current interpretation and cumulative
+// stats at a consistent fixpoint boundary (end of a round, or end of a
+// component). Monotonicity of T_P makes every such interpretation a
+// sound restart point: it lies between the EDB and the least model, so
+// the fixpoint resumed from it converges to the same least model. The
+// callback must finish with db before returning (typically by
+// serializing it) and must not retain it.
+type CheckpointFunc func(db *relation.DB, stats Stats) error
 
 // Limits bounds one Solve call. The zero value means "no limits" (the
 // divergence detector still runs at its default threshold; set
 // DivergenceStreak < 0 to disable it).
 type Limits struct {
-	// MaxFacts caps the number of tuple derivations across the whole
-	// solve (stats.Derived); 0 means unlimited. Under the naive
-	// strategy every round re-derives the interpretation, so the
+	// MaxFacts caps the number of tuple derivations performed by one
+	// solve call; 0 means unlimited. A resumed solve whose stats are
+	// seeded from a checkpoint gets a fresh budget (the cap bounds the
+	// increment of stats.Derived, not its cumulative value). Under the
+	// naive strategy every round re-derives the interpretation, so the
 	// budget counts derivation work, not distinct tuples.
 	MaxFacts int64
 	// MaxDuration is a per-solve wall-clock deadline; 0 means none.
@@ -45,6 +59,15 @@ type Limits struct {
 	// signature of a fixpoint at ω (Example 5.1). 0 means the default
 	// (1000); negative disables the detector.
 	DivergenceStreak int
+	// Checkpoint, when set, is invoked at consistent fixpoint
+	// boundaries with the current interpretation and cumulative stats,
+	// so the solve can be resumed after a crash (see Engine.Resume). A
+	// checkpoint failure stops evaluation with ErrCheckpoint.
+	Checkpoint CheckpointFunc
+	// CheckpointEvery emits a checkpoint every N fixpoint rounds
+	// (0 disables round-boundary checkpoints; component boundaries
+	// always checkpoint while Checkpoint is set).
+	CheckpointEvery int
 }
 
 const (
@@ -133,6 +156,9 @@ func (e *EngineError) Error() string {
 		}
 	case errors.Is(e.Err, ErrInternal):
 		fmt.Fprintf(&b, "core: internal panic contained in component %v (round %d)", e.Component, e.Round)
+	case errors.Is(e.Err, ErrCheckpoint):
+		fmt.Fprintf(&b, "core: checkpoint write failed on component %v (round %d); stopping rather than outrun the last recoverable state",
+			e.Component, e.Round)
 	default:
 		fmt.Fprintf(&b, "core: evaluation failed on component %v (round %d)", e.Component, e.Round)
 	}
@@ -163,21 +189,32 @@ func (e *EngineError) Unwrap() []error {
 // loops poll it at round boundaries and (through evaluator.check) every
 // CheckEvery firings, and report every derivation to it.
 type guard struct {
-	ctx        context.Context
-	maxFacts   int64
-	checkEvery int
-	stats      *Stats
-	det        divergeDetector
+	ctx      context.Context
+	maxFacts int64
+	// baseDerived is stats.Derived at guard creation; MaxFacts bounds
+	// the derivations of this call, not the cumulative total, so a
+	// resumed solve seeded with checkpoint stats gets a fresh budget.
+	baseDerived int64
+	checkEvery  int
+	stats       *Stats
+	det         divergeDetector
 	// comp and rule track the engine's current position for error
 	// reporting; lastImproved is the latest improved atom.
 	comp         []ast.PredKey
 	rule         *ast.Rule
 	lastImproved string
 	polls        int
+	// ckpt and ckptEvery drive durable checkpointing; sinceCkpt counts
+	// rounds since the last emitted checkpoint.
+	ckpt      CheckpointFunc
+	ckptEvery int
+	sinceCkpt int
 }
 
 func newGuard(ctx context.Context, lim Limits, stats *Stats) *guard {
-	g := &guard{ctx: ctx, maxFacts: lim.MaxFacts, checkEvery: lim.CheckEvery, stats: stats}
+	g := &guard{ctx: ctx, maxFacts: lim.MaxFacts, baseDerived: stats.Derived,
+		checkEvery: lim.CheckEvery, stats: stats,
+		ckpt: lim.Checkpoint, ckptEvery: lim.CheckpointEvery}
 	if g.checkEvery <= 0 {
 		g.checkEvery = defaultCheckEvery
 	}
@@ -186,6 +223,41 @@ func newGuard(ctx context.Context, lim Limits, stats *Stats) *guard {
 		g.det.threshold = defaultDivergenceStreak
 	}
 	return g
+}
+
+// roundBoundary runs at the end of every fixpoint round, when db is a
+// consistent intermediate interpretation: it gives the fault-injection
+// point a chance to kill the evaluation (crash-recovery tests) and
+// emits a periodic checkpoint.
+func (g *guard) roundBoundary(db *relation.DB) error {
+	if err := faults.Check(faults.CoreRound); err != nil {
+		return g.fail(ErrInternal, err)
+	}
+	return g.checkpoint(db, false)
+}
+
+// checkpoint invokes the configured checkpoint callback; force bypasses
+// the every-N-rounds cadence (component boundaries always emit one). A
+// failed checkpoint is a first-class evaluation failure: continuing
+// would outrun the last durable state.
+func (g *guard) checkpoint(db *relation.DB, force bool) error {
+	if g.ckpt == nil {
+		return nil
+	}
+	if !force {
+		if g.ckptEvery <= 0 {
+			return nil
+		}
+		g.sinceCkpt++
+		if g.sinceCkpt < g.ckptEvery {
+			return nil
+		}
+	}
+	g.sinceCkpt = 0
+	if err := g.ckpt(db, *g.stats); err != nil {
+		return g.fail(ErrCheckpoint, err)
+	}
+	return nil
 }
 
 // fail builds an EngineError snapshotting the guard's position.
@@ -235,7 +307,7 @@ func (g *guard) derived(pred ast.PredKey, args []val.T, cost lattice.Elem, hasCo
 	if improved {
 		g.lastImproved = renderAtom(pred, args, cost, hasCost)
 	}
-	if g.maxFacts > 0 && g.stats.Derived > g.maxFacts {
+	if g.maxFacts > 0 && g.stats.Derived-g.baseDerived > g.maxFacts {
 		e := g.fail(ErrBudgetExceeded, nil)
 		e.Limit = g.maxFacts
 		return e

@@ -31,7 +31,16 @@ func (en *Engine) SolveMore(prev *relation.DB, added *relation.DB) (*relation.DB
 // engine's resource limits; on a limit breach it returns the partially
 // extended model alongside the *EngineError.
 func (en *Engine) SolveMoreContext(ctx context.Context, prev *relation.DB, added *relation.DB) (*relation.DB, Stats, error) {
-	var stats Stats
+	return en.SolveMoreFrom(ctx, prev, added, Stats{})
+}
+
+// SolveMoreFrom is SolveMoreContext with the returned Stats seeded from
+// base: callers chaining incremental solves (or resuming from durable
+// checkpoints, whose metadata records cumulative work) pass the stats
+// of the model being extended, so rounds/firings/derivations report
+// running totals rather than per-resume counts.
+func (en *Engine) SolveMoreFrom(ctx context.Context, prev *relation.DB, added *relation.DB, base Stats) (*relation.DB, Stats, error) {
+	stats := base
 	lim := en.opts.Limits
 	if lim.MaxDuration > 0 {
 		var cancel context.CancelFunc
@@ -113,6 +122,9 @@ func (en *Engine) SolveMoreContext(ctx context.Context, prev *relation.DB, added
 			})
 		})
 		if err != nil {
+			return db, stats, err
+		}
+		if err := g.checkpoint(db, true); err != nil {
 			return db, stats, err
 		}
 	}

@@ -32,4 +32,10 @@ var (
 	// (or a pathological program tripping one) that was converted into
 	// an error instead of crashing the host process.
 	ErrInternal = errors.New("internal engine failure")
+
+	// ErrCheckpoint marks a failed durable-checkpoint write during
+	// evaluation: the configured sink returned an error, so continuing
+	// would outrun the last recoverable state. Partial results are
+	// still returned.
+	ErrCheckpoint = errors.New("checkpoint write failed")
 )

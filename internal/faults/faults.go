@@ -1,0 +1,194 @@
+// Package faults is a test-oriented fault-injection registry: named
+// failure points compiled into production code paths (checkpoint sinks,
+// fixpoint round boundaries, snapshot restore) that do nothing until a
+// test arms them. Crash-recovery tests use it to kill an evaluation
+// mid-fixpoint deterministically, and to simulate sink write errors and
+// torn checkpoint files, without platform-specific process killing.
+//
+// The zero state is fully disarmed and the hot-path cost of a Check call
+// is a single atomic load, so the hooks are safe to leave in release
+// builds.
+package faults
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+)
+
+// Well-known failure points. Constants live here (not next to the code
+// they interrupt) so tests can arm a point without importing the
+// package under test's internals.
+const (
+	// CoreRound fires at fixpoint round boundaries in the core engine
+	// (after the round's insertions, before its checkpoint). Arm with
+	// Panic to simulate a crash at round N.
+	CoreRound = "core.round"
+	// SnapshotSinkWrite fires at the start of every checkpoint sink
+	// write. Arm with an error to simulate a full disk or dead volume.
+	SnapshotSinkWrite = "snapshot.sink.write"
+	// SnapshotRestoreRead fires while reading a checkpoint file back;
+	// an armed fault mangles the bytes (truncation by default),
+	// simulating a torn or corrupted file.
+	SnapshotRestoreRead = "snapshot.restore.read"
+)
+
+// ErrInjected is the default error returned by armed error-mode faults.
+var ErrInjected = errors.New("faults: injected failure")
+
+// Fault describes what an armed point does when hit.
+type Fault struct {
+	// Point names the failure point (one of the constants above, or any
+	// string agreed between the code under test and the test).
+	Point string
+	// After fires the fault on the After-th Check of the point
+	// (1-based); 0 means the first.
+	After int
+	// Panic makes the fault panic instead of returning an error,
+	// simulating a crash that unwinds the stack.
+	Panic bool
+	// Sticky keeps the fault firing on every hit at or past After;
+	// otherwise it fires exactly once.
+	Sticky bool
+	// Err is the error returned when the fault fires (ErrInjected when
+	// nil). Ignored in Panic mode.
+	Err error
+	// Mangle transforms bytes passed through Apply when the fault
+	// fires; nil truncates to half length.
+	Mangle func([]byte) []byte
+}
+
+type state struct {
+	Fault
+	hits int
+}
+
+var (
+	mu     sync.Mutex
+	points map[string]*state
+	armed  atomic.Int32 // fast-path gate: number of armed points
+)
+
+// Arm installs f at its Point, replacing any previous fault there.
+func Arm(f Fault) {
+	mu.Lock()
+	defer mu.Unlock()
+	if points == nil {
+		points = map[string]*state{}
+	}
+	if f.After <= 0 {
+		f.After = 1
+	}
+	if _, exists := points[f.Point]; !exists {
+		armed.Add(1)
+	}
+	points[f.Point] = &state{Fault: f}
+}
+
+// Disarm removes the fault at point, if any.
+func Disarm(point string) {
+	mu.Lock()
+	defer mu.Unlock()
+	if _, ok := points[point]; ok {
+		delete(points, point)
+		armed.Add(-1)
+	}
+}
+
+// Reset disarms every point. Tests should defer it after arming.
+func Reset() {
+	mu.Lock()
+	defer mu.Unlock()
+	armed.Add(int32(-len(points)))
+	points = nil
+}
+
+// hit counts a hit at point and reports the fault if it fired.
+func hit(point string) (Fault, bool) {
+	mu.Lock()
+	defer mu.Unlock()
+	s, ok := points[point]
+	if !ok {
+		return Fault{}, false
+	}
+	s.hits++
+	if s.hits < s.After {
+		return Fault{}, false
+	}
+	if s.hits > s.After && !s.Sticky {
+		return Fault{}, false
+	}
+	return s.Fault, true
+}
+
+// Check counts a hit at point: it returns the armed error (or panics,
+// in Panic mode) when the fault fires, and nil otherwise. Disarmed
+// points cost one atomic load.
+func Check(point string) error {
+	if armed.Load() == 0 {
+		return nil
+	}
+	f, fired := hit(point)
+	if !fired {
+		return nil
+	}
+	if f.Panic {
+		panic(fmt.Sprintf("faults: injected panic at %s (hit %d)", f.Point, f.After))
+	}
+	if f.Err != nil {
+		return f.Err
+	}
+	return fmt.Errorf("%w at %s", ErrInjected, point)
+}
+
+// Apply passes data through point: when the armed fault fires, the
+// bytes are transformed by its Mangle function (truncated to half
+// length when nil), simulating a torn write or bit rot on restore.
+func Apply(point string, data []byte) []byte {
+	if armed.Load() == 0 {
+		return data
+	}
+	f, fired := hit(point)
+	if !fired {
+		return data
+	}
+	if f.Mangle != nil {
+		return f.Mangle(data)
+	}
+	return data[:len(data)/2]
+}
+
+// Writer wraps w so that writes fail with err (ErrInjected when nil)
+// once n bytes have been written through it — a deterministic short
+// write for exercising partial-persistence paths.
+func Writer(w io.Writer, n int, err error) io.Writer {
+	if err == nil {
+		err = ErrInjected
+	}
+	return &shortWriter{w: w, left: n, err: err}
+}
+
+type shortWriter struct {
+	w    io.Writer
+	left int
+	err  error
+}
+
+func (s *shortWriter) Write(p []byte) (int, error) {
+	if s.left <= 0 {
+		return 0, s.err
+	}
+	if len(p) <= s.left {
+		n, err := s.w.Write(p)
+		s.left -= n
+		return n, err
+	}
+	n, err := s.w.Write(p[:s.left])
+	s.left -= n
+	if err != nil {
+		return n, err
+	}
+	return n, s.err
+}

@@ -1,0 +1,106 @@
+package faults
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+func TestDisarmedCheckIsNil(t *testing.T) {
+	Reset()
+	if err := Check("nope"); err != nil {
+		t.Fatalf("disarmed point returned %v", err)
+	}
+}
+
+func TestErrorFaultFiresOnce(t *testing.T) {
+	Reset()
+	t.Cleanup(Reset)
+	Arm(Fault{Point: "p", After: 2})
+	if err := Check("p"); err != nil {
+		t.Fatalf("hit 1 fired early: %v", err)
+	}
+	if err := Check("p"); !errors.Is(err, ErrInjected) {
+		t.Fatalf("hit 2 = %v, want ErrInjected", err)
+	}
+	if err := Check("p"); err != nil {
+		t.Fatalf("non-sticky fault fired again: %v", err)
+	}
+}
+
+func TestStickyFault(t *testing.T) {
+	Reset()
+	t.Cleanup(Reset)
+	custom := errors.New("disk full")
+	Arm(Fault{Point: "p", Sticky: true, Err: custom})
+	for i := 0; i < 3; i++ {
+		if err := Check("p"); !errors.Is(err, custom) {
+			t.Fatalf("hit %d = %v, want custom error", i+1, err)
+		}
+	}
+}
+
+func TestPanicFault(t *testing.T) {
+	Reset()
+	t.Cleanup(Reset)
+	Arm(Fault{Point: "p", Panic: true})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("panic fault did not panic")
+		}
+	}()
+	Check("p")
+}
+
+func TestApplyMangles(t *testing.T) {
+	Reset()
+	t.Cleanup(Reset)
+	data := []byte("0123456789")
+	if got := Apply("p", data); len(got) != len(data) {
+		t.Fatal("disarmed Apply must pass bytes through")
+	}
+	Arm(Fault{Point: "p"})
+	if got := Apply("p", data); len(got) != 5 {
+		t.Fatalf("default mangle len = %d, want 5", len(got))
+	}
+	Arm(Fault{Point: "q", Mangle: func(b []byte) []byte {
+		b = append([]byte{}, b...)
+		b[0] ^= 0xff
+		return b
+	}})
+	if got := Apply("q", data); got[0] == '0' {
+		t.Fatal("custom mangle not applied")
+	}
+}
+
+func TestShortWriter(t *testing.T) {
+	var buf bytes.Buffer
+	w := Writer(&buf, 4, nil)
+	n, err := w.Write([]byte("abcdef"))
+	if n != 4 || !errors.Is(err, ErrInjected) {
+		t.Fatalf("short write = (%d, %v), want (4, ErrInjected)", n, err)
+	}
+	if buf.String() != "abcd" {
+		t.Fatalf("wrote %q", buf.String())
+	}
+	if _, err := w.Write([]byte("x")); !errors.Is(err, ErrInjected) {
+		t.Fatal("exhausted writer must keep failing")
+	}
+}
+
+func TestDisarmAndReset(t *testing.T) {
+	Reset()
+	Arm(Fault{Point: "a", Sticky: true})
+	Arm(Fault{Point: "b", Sticky: true})
+	Disarm("a")
+	if err := Check("a"); err != nil {
+		t.Fatalf("disarmed point fired: %v", err)
+	}
+	if err := Check("b"); err == nil {
+		t.Fatal("armed point did not fire")
+	}
+	Reset()
+	if err := Check("b"); err != nil {
+		t.Fatalf("reset point fired: %v", err)
+	}
+}

@@ -1,0 +1,83 @@
+package snapshot
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"testing"
+
+	"repro/internal/ast"
+	"repro/internal/lattice"
+	"repro/internal/relation"
+	"repro/internal/val"
+)
+
+// seedSnapshots builds real checkpoints — the shapes Encode actually
+// produces — as the fuzz corpus: every value kind, cost and non-cost
+// relations, nested sets, infinities, an empty interpretation.
+func seedSnapshots() []*Snapshot {
+	empty := &Snapshot{DB: relation.NewDB(ast.Schemas{})}
+
+	schemas := ast.Schemas{
+		"e/2": {Key: "e/2", Arity: 2},
+		"s/3": {Key: "s/3", Arity: 3, HasCost: true, L: lattice.MinReal},
+		"t/2": {Key: "t/2", Arity: 2, HasCost: true, HasDefault: true, L: lattice.BoolOr},
+		"u/2": {Key: "u/2", Arity: 2, HasCost: true, L: lattice.SetUnion},
+	}
+	db := relation.NewDB(schemas)
+	db.Rel("e/2").InsertJoin([]val.T{val.Symbol("a"), val.String("x y")}, lattice.Elem{})
+	db.Rel("s/3").InsertJoin([]val.T{val.Symbol("a"), val.Symbol("b")}, val.Number(2.5))
+	db.Rel("s/3").InsertJoin([]val.T{val.Number(0), val.Boolean(false)}, val.Number(lattice.Inf))
+	db.Rel("t/2").InsertJoin([]val.T{val.Symbol("w")}, val.Boolean(true))
+	db.Rel("u/2").InsertJoin([]val.T{val.Symbol("g")},
+		val.SetOf(val.Number(1), val.SetOf(val.Symbol("n"), val.String("q"))))
+	full := &Snapshot{
+		Fingerprint: sha256.Sum256([]byte("seed program")),
+		Stats:       Stats{Components: 3, Rounds: 12, Firings: 99, Derived: 42},
+		DB:          db,
+	}
+	return []*Snapshot{empty, full}
+}
+
+// FuzzSnapshotRoundTrip asserts the two decoder contracts on arbitrary
+// bytes: Decode never panics, and any input it accepts re-encodes to a
+// stable canonical form (encode∘decode is the identity from the first
+// re-encoding onward). The input is tried both raw and with a corrected
+// checksum trailer, so the fuzzer can explore the structural decoder
+// behind the integrity check.
+func FuzzSnapshotRoundTrip(f *testing.F) {
+	for _, s := range seedSnapshots() {
+		f.Add(Encode(s))
+		f.Add(Encode(s)[:len(magic)+1]) // header-only prefix
+	}
+	f.Add([]byte{})
+	f.Add([]byte(magic))
+
+	check := func(t *testing.T, data []byte) {
+		s, err := Decode(data, nil) // must not panic
+		if err != nil {
+			return
+		}
+		enc := Encode(s)
+		s2, err := Decode(enc, nil)
+		if err != nil {
+			t.Fatalf("re-decoding our own encoding failed: %v", err)
+		}
+		if !Equal(s, s2) {
+			t.Fatal("decode(encode(s)) differs from s")
+		}
+		if !bytes.Equal(Encode(s2), enc) {
+			t.Fatal("re-encoding is not byte-stable")
+		}
+	}
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		check(t, data)
+		// Fix up the trailer so mutated payloads reach the structural
+		// decoder instead of dying at the checksum.
+		if len(data) >= len(magic)+1+sha256.Size {
+			payload := data[:len(data)-sha256.Size]
+			sum := sha256.Sum256(payload)
+			check(t, append(append([]byte{}, payload...), sum[:]...))
+		}
+	})
+}

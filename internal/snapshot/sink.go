@@ -1,0 +1,73 @@
+package snapshot
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/ast"
+	"repro/internal/faults"
+)
+
+// Sink persists checkpoints emitted during evaluation. Write is called
+// synchronously at fixpoint boundaries with a live view of the
+// interpretation: implementations must finish with it (typically by
+// encoding) before returning, and must not retain the snapshot's DB.
+type Sink interface {
+	Write(s *Snapshot) error
+}
+
+// FileSink atomically replaces Path with each checkpoint: the encoding
+// is written to a temporary file in the same directory, synced, and
+// renamed over Path, so a crash mid-write leaves the previous
+// checkpoint intact rather than a torn file.
+type FileSink struct {
+	Path string
+}
+
+// Write persists one checkpoint.
+func (fs *FileSink) Write(s *Snapshot) error {
+	if err := faults.Check(faults.SnapshotSinkWrite); err != nil {
+		return fmt.Errorf("snapshot: sink write failed: %w", err)
+	}
+	return WriteFile(fs.Path, s)
+}
+
+// WriteFile writes one snapshot to path via the same atomic
+// write-to-temp-then-rename protocol as FileSink.
+func WriteFile(path string, s *Snapshot) error {
+	data := Encode(s)
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, ".snap-*.tmp")
+	if err != nil {
+		return fmt.Errorf("snapshot: %w", err)
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		return fmt.Errorf("snapshot: writing %s: %w", tmp.Name(), err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("snapshot: syncing %s: %w", tmp.Name(), err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("snapshot: closing %s: %w", tmp.Name(), err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return fmt.Errorf("snapshot: %w", err)
+	}
+	return nil
+}
+
+// ReadFile loads and decodes a checkpoint file; schemas as in Decode.
+// The faults.SnapshotRestoreRead point can mangle the bytes in tests to
+// simulate torn or rotted files.
+func ReadFile(path string, schemas ast.Schemas) (*Snapshot, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("snapshot: %w", err)
+	}
+	data = faults.Apply(faults.SnapshotRestoreRead, data)
+	return Decode(data, schemas)
+}

@@ -1,0 +1,493 @@
+// Package snapshot serializes aggregate Herbrand interpretations
+// (relation.DB) together with cumulative evaluation statistics and a
+// program fingerprint into a versioned, deterministic, self-checking
+// binary format — the durable checkpoints behind crash-recoverable
+// fixpoint evaluation.
+//
+// Soundness of resuming from a snapshot rests on the monotonicity of
+// T_P (Ross & Sagiv §3–§4): every intermediate interpretation of a
+// bottom-up solve lies between the EDB and the least fixpoint, so the
+// fixpoint restarted from a checkpointed sub-model converges to the
+// same least model as an uninterrupted run. The fingerprint — a SHA-256
+// of the program's canonical printing, declarations included — makes
+// the one unsound case (resuming against a *different* program)
+// impossible to hit silently.
+//
+// # Format (version 1)
+//
+//	magic   "MDLSNAP" + version byte
+//	payload fingerprint[32]
+//	        stats: components, rounds, firings, derived (uvarint each)
+//	        npreds, then per predicate (sorted by key):
+//	          key, flags (hasCost|hasDefault<<1), lattice name if cost,
+//	          nrows, then per row (canonical row order):
+//	            nargs, args..., cost if cost predicate
+//	trailer SHA-256(magic ‖ payload)
+//
+// Values encode as a kind byte followed by a kind-specific body; sets
+// encode their elements in canonical order, so equal interpretations
+// encode to identical bytes. The trailer detects truncation and bit
+// rot; Decode additionally bounds every count against the bytes that
+// remain, and never panics on arbitrary input.
+package snapshot
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+
+	"repro/internal/ast"
+	"repro/internal/lattice"
+	"repro/internal/relation"
+	"repro/internal/val"
+)
+
+// Version is the current snapshot format version.
+const Version = 1
+
+const magic = "MDLSNAP"
+
+// Error classes, testable with errors.Is on anything Decode or a sink
+// returns.
+var (
+	// ErrCorrupt marks a snapshot that is not decodable: wrong magic,
+	// failed checksum (truncation, bit rot, torn write), or structurally
+	// inconsistent contents.
+	ErrCorrupt = errors.New("snapshot: corrupt or truncated checkpoint")
+	// ErrVersion marks a snapshot written by an incompatible format
+	// version.
+	ErrVersion = errors.New("snapshot: unsupported format version")
+	// ErrFingerprint marks a snapshot whose program fingerprint does not
+	// match the program it is being restored against; resuming it would
+	// silently compute a model of the wrong program.
+	ErrFingerprint = errors.New("snapshot: program fingerprint mismatch")
+)
+
+// Stats mirrors the engine's cumulative counters without importing it
+// (snapshot is a leaf package usable below core).
+type Stats struct {
+	Components int
+	Rounds     int
+	Firings    int64
+	Derived    int64
+}
+
+// Snapshot is one durable checkpoint: the interpretation, the work done
+// to reach it, and the identity of the program that produced it.
+type Snapshot struct {
+	Fingerprint [32]byte
+	Stats       Stats
+	DB          *relation.DB
+}
+
+// Fingerprint hashes a program's canonical printing — rules,
+// constraints and declarations — so that a checkpoint can never be
+// resumed against a different program.
+func Fingerprint(prog *ast.Program) [32]byte {
+	return sha256.Sum256([]byte(prog.String()))
+}
+
+// Encode serializes s deterministically: equal snapshots (same
+// interpretation, stats and fingerprint) produce identical bytes.
+func Encode(s *Snapshot) []byte {
+	var b bytes.Buffer
+	b.WriteString(magic)
+	b.WriteByte(Version)
+	b.Write(s.Fingerprint[:])
+	putUvarint(&b, uint64(s.Stats.Components))
+	putUvarint(&b, uint64(s.Stats.Rounds))
+	putUvarint(&b, uint64(s.Stats.Firings))
+	putUvarint(&b, uint64(s.Stats.Derived))
+
+	// Only non-empty relations are written: lazily materialized empty
+	// relations carry no information, and skipping them makes encoding
+	// insensitive to which predicates happen to have been touched.
+	var preds []ast.PredKey
+	if s.DB != nil {
+		for _, k := range s.DB.Preds() {
+			if s.DB.Rel(k).Len() > 0 {
+				preds = append(preds, k)
+			}
+		}
+	}
+	putUvarint(&b, uint64(len(preds)))
+	for _, k := range preds {
+		r := s.DB.Rel(k)
+		putString(&b, string(k))
+		var flags byte
+		if r.Info.HasCost {
+			flags |= 1
+		}
+		if r.Info.HasDefault {
+			flags |= 2
+		}
+		b.WriteByte(flags)
+		if r.Info.HasCost {
+			putString(&b, r.Info.L.Name())
+		}
+		putUvarint(&b, uint64(r.Len()))
+		for _, row := range r.Rows() {
+			putUvarint(&b, uint64(len(row.Args)))
+			for _, a := range row.Args {
+				encodeVal(&b, a)
+			}
+			if r.Info.HasCost {
+				encodeVal(&b, row.Cost)
+			}
+		}
+	}
+	sum := sha256.Sum256(b.Bytes())
+	b.Write(sum[:])
+	return b.Bytes()
+}
+
+// Decode parses a snapshot. schemas, when non-nil, supplies the
+// authoritative PredInfo for predicates it knows (so restored relations
+// share the engine's schema objects); predicates missing from it are
+// reconstructed from the encoded metadata. The caller's schema map is
+// never mutated. Decode never panics, whatever the input.
+func Decode(data []byte, schemas ast.Schemas) (*Snapshot, error) {
+	if len(data) < len(magic)+1+sha256.Size {
+		return nil, fmt.Errorf("%w: %d bytes is too short", ErrCorrupt, len(data))
+	}
+	if string(data[:len(magic)]) != magic {
+		return nil, fmt.Errorf("%w: bad magic", ErrCorrupt)
+	}
+	if v := data[len(magic)]; v != Version {
+		return nil, fmt.Errorf("%w: got version %d, support version %d", ErrVersion, v, Version)
+	}
+	payload, trailer := data[:len(data)-sha256.Size], data[len(data)-sha256.Size:]
+	if sum := sha256.Sum256(payload); !bytes.Equal(sum[:], trailer) {
+		return nil, fmt.Errorf("%w: checksum mismatch", ErrCorrupt)
+	}
+
+	d := &decoder{buf: payload[len(magic)+1:]}
+	s := &Snapshot{}
+	if n := copy(s.Fingerprint[:], d.buf); n < len(s.Fingerprint) {
+		return nil, d.corrupt("fingerprint")
+	}
+	d.buf = d.buf[len(s.Fingerprint):]
+	var err error
+	if s.Stats, err = d.stats(); err != nil {
+		return nil, err
+	}
+
+	// Schema map for the restored DB: seeded from the caller's (shared
+	// PredInfo pointers, fresh map) so relation.DB can materialize
+	// lazily without touching the original.
+	sc := ast.Schemas{}
+	for k, pi := range schemas {
+		sc[k] = pi
+	}
+	db := relation.NewDB(sc)
+	s.DB = db
+
+	npreds, err := d.count("predicates")
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < npreds; i++ {
+		if err := d.relation(db, schemas); err != nil {
+			return nil, err
+		}
+	}
+	if len(d.buf) != 0 {
+		return nil, fmt.Errorf("%w: %d trailing bytes", ErrCorrupt, len(d.buf))
+	}
+	return s, nil
+}
+
+// Verify checks a decoded snapshot against the fingerprint of the
+// program it is about to be resumed into.
+func (s *Snapshot) Verify(fingerprint [32]byte) error {
+	if s.Fingerprint != fingerprint {
+		return fmt.Errorf("%w: checkpoint is from program %x…, resuming program %x…",
+			ErrFingerprint, s.Fingerprint[:6], fingerprint[:6])
+	}
+	return nil
+}
+
+// maxSetDepth bounds nested-set recursion while decoding, so a
+// pathological input cannot overflow the stack.
+const maxSetDepth = 64
+
+type decoder struct {
+	buf []byte
+}
+
+func (d *decoder) corrupt(what string) error {
+	return fmt.Errorf("%w: truncated %s", ErrCorrupt, what)
+}
+
+func (d *decoder) uvarint(what string) (uint64, error) {
+	v, n := binary.Uvarint(d.buf)
+	if n <= 0 {
+		return 0, d.corrupt(what)
+	}
+	d.buf = d.buf[n:]
+	return v, nil
+}
+
+// count reads a uvarint that counts upcoming encoded items; since every
+// item occupies at least one byte, a count exceeding the remaining
+// bytes is corrupt (and this bound keeps allocations proportional to
+// the input).
+func (d *decoder) count(what string) (int, error) {
+	v, err := d.uvarint(what)
+	if err != nil {
+		return 0, err
+	}
+	if v > uint64(len(d.buf)) {
+		return 0, fmt.Errorf("%w: %s count %d exceeds %d remaining bytes", ErrCorrupt, what, v, len(d.buf))
+	}
+	return int(v), nil
+}
+
+func (d *decoder) string(what string) (string, error) {
+	n, err := d.count(what)
+	if err != nil {
+		return "", err
+	}
+	s := string(d.buf[:n])
+	d.buf = d.buf[n:]
+	return s, nil
+}
+
+func (d *decoder) byte(what string) (byte, error) {
+	if len(d.buf) == 0 {
+		return 0, d.corrupt(what)
+	}
+	b := d.buf[0]
+	d.buf = d.buf[1:]
+	return b, nil
+}
+
+func (d *decoder) stats() (Stats, error) {
+	var st Stats
+	comp, err := d.uvarint("stats")
+	if err != nil {
+		return st, err
+	}
+	rounds, err := d.uvarint("stats")
+	if err != nil {
+		return st, err
+	}
+	firings, err := d.uvarint("stats")
+	if err != nil {
+		return st, err
+	}
+	derived, err := d.uvarint("stats")
+	if err != nil {
+		return st, err
+	}
+	const maxInt = uint64(^uint(0) >> 1)
+	if comp > maxInt || rounds > maxInt || firings > math.MaxInt64 || derived > math.MaxInt64 {
+		return st, fmt.Errorf("%w: stats counter overflow", ErrCorrupt)
+	}
+	st.Components, st.Rounds = int(comp), int(rounds)
+	st.Firings, st.Derived = int64(firings), int64(derived)
+	return st, nil
+}
+
+func (d *decoder) relation(db *relation.DB, schemas ast.Schemas) error {
+	keyStr, err := d.string("predicate key")
+	if err != nil {
+		return err
+	}
+	flags, err := d.byte("predicate flags")
+	if err != nil {
+		return err
+	}
+	hasCost := flags&1 != 0
+	hasDefault := flags&2 != 0
+	if flags > 3 || (hasDefault && !hasCost) {
+		// A default requires a cost lattice (§2.3.2); no real schema
+		// encodes this, and a nil lattice would crash the relation.
+		return fmt.Errorf("%w: bad flags %#x for %s", ErrCorrupt, flags, keyStr)
+	}
+	var l lattice.Lattice
+	if hasCost {
+		name, err := d.string("lattice name")
+		if err != nil {
+			return err
+		}
+		var ok bool
+		if l, ok = lattice.ByName(name); !ok {
+			return fmt.Errorf("%w: unknown lattice %q for %s", ErrCorrupt, name, keyStr)
+		}
+	}
+
+	name, arity, err := splitKey(keyStr)
+	if err != nil {
+		return err
+	}
+	key := ast.MakePredKey(name, arity)
+	if db.Has(key) {
+		return fmt.Errorf("%w: duplicate predicate %s", ErrCorrupt, key)
+	}
+	pi := schemas.Info(key)
+	if pi != nil {
+		// The caller's schema is authoritative; the encoded metadata
+		// must agree with it or the snapshot belongs to another program.
+		if pi.HasCost != hasCost || pi.HasDefault != hasDefault ||
+			(hasCost && pi.L.Name() != l.Name()) {
+			return fmt.Errorf("%w: schema of %s disagrees with the program", ErrCorrupt, key)
+		}
+	} else {
+		pi = &ast.PredInfo{Key: key, Arity: arity, HasCost: hasCost, HasDefault: hasDefault, L: l}
+		db.Schemas[key] = pi
+	}
+
+	rel := db.Rel(key)
+	nrows, err := d.count("rows")
+	if err != nil {
+		return err
+	}
+	wantArgs := arity
+	if hasCost {
+		wantArgs = arity - 1
+	}
+	for i := 0; i < nrows; i++ {
+		nargs, err := d.count("arguments")
+		if err != nil {
+			return err
+		}
+		if nargs != wantArgs {
+			return fmt.Errorf("%w: %s row has %d arguments, want %d", ErrCorrupt, key, nargs, wantArgs)
+		}
+		args := make([]val.T, nargs)
+		for j := range args {
+			if args[j], err = d.val(0); err != nil {
+				return err
+			}
+		}
+		cost := lattice.Elem{}
+		if hasCost {
+			if cost, err = d.val(0); err != nil {
+				return err
+			}
+			if !pi.L.Contains(cost) {
+				return fmt.Errorf("%w: cost %s of %s outside lattice %s", ErrCorrupt, cost, key, pi.L.Name())
+			}
+		}
+		rel.InsertJoin(args, cost)
+	}
+	if rel.Len() != nrows {
+		// Duplicate rows, or virtual default rows stored in the core:
+		// neither is producible by Encode.
+		return fmt.Errorf("%w: %s declared %d rows, stored %d", ErrCorrupt, key, nrows, rel.Len())
+	}
+	return nil
+}
+
+func (d *decoder) val(depth int) (val.T, error) {
+	if depth > maxSetDepth {
+		return val.T{}, fmt.Errorf("%w: set nesting exceeds depth %d", ErrCorrupt, maxSetDepth)
+	}
+	kind, err := d.byte("value kind")
+	if err != nil {
+		return val.T{}, err
+	}
+	switch val.Kind(kind) {
+	case val.Sym, val.Str:
+		s, err := d.string("value text")
+		if err != nil {
+			return val.T{}, err
+		}
+		return val.T{Kind: val.Kind(kind), S: s}, nil
+	case val.Num:
+		if len(d.buf) < 8 {
+			return val.T{}, d.corrupt("number")
+		}
+		bits := binary.BigEndian.Uint64(d.buf)
+		d.buf = d.buf[8:]
+		n := math.Float64frombits(bits)
+		if math.IsNaN(n) {
+			return val.T{}, fmt.Errorf("%w: NaN numeric value", ErrCorrupt)
+		}
+		return val.Number(n), nil
+	case val.Bool:
+		b, err := d.byte("boolean")
+		if err != nil {
+			return val.T{}, err
+		}
+		if b > 1 {
+			return val.T{}, fmt.Errorf("%w: boolean byte %d", ErrCorrupt, b)
+		}
+		return val.Boolean(b == 1), nil
+	case val.SetKind:
+		n, err := d.count("set elements")
+		if err != nil {
+			return val.T{}, err
+		}
+		elems := make([]val.T, n)
+		for i := range elems {
+			if elems[i], err = d.val(depth + 1); err != nil {
+				return val.T{}, err
+			}
+		}
+		return val.T{Kind: val.SetKind, Set: val.NewSet(elems)}, nil
+	}
+	return val.T{}, fmt.Errorf("%w: unknown value kind %d", ErrCorrupt, kind)
+}
+
+func encodeVal(b *bytes.Buffer, v val.T) {
+	b.WriteByte(byte(v.Kind))
+	switch v.Kind {
+	case val.Sym, val.Str:
+		putString(b, v.S)
+	case val.Num:
+		var buf [8]byte
+		binary.BigEndian.PutUint64(buf[:], math.Float64bits(v.N))
+		b.Write(buf[:])
+	case val.Bool:
+		if v.B {
+			b.WriteByte(1)
+		} else {
+			b.WriteByte(0)
+		}
+	case val.SetKind:
+		var elems []val.T
+		if v.Set != nil {
+			elems = v.Set.Elems() // already in canonical order
+		}
+		putUvarint(b, uint64(len(elems)))
+		for _, e := range elems {
+			encodeVal(b, e)
+		}
+	}
+}
+
+func putUvarint(b *bytes.Buffer, v uint64) {
+	var buf [binary.MaxVarintLen64]byte
+	b.Write(buf[:binary.PutUvarint(buf[:], v)])
+}
+
+func putString(b *bytes.Buffer, s string) {
+	putUvarint(b, uint64(len(s)))
+	b.WriteString(s)
+}
+
+// splitKey parses "name/arity" back into its parts.
+func splitKey(s string) (string, int, error) {
+	i := strings.LastIndexByte(s, '/')
+	if i <= 0 {
+		return "", 0, fmt.Errorf("%w: bad predicate key %q", ErrCorrupt, s)
+	}
+	arity, err := strconv.Atoi(s[i+1:])
+	if err != nil || arity < 0 {
+		return "", 0, fmt.Errorf("%w: bad predicate key %q", ErrCorrupt, s)
+	}
+	return s[:i], arity, nil
+}
+
+// Equal reports whether two snapshots carry the same fingerprint, stats
+// and interpretation (lattice equality on every relation).
+func Equal(a, b *Snapshot) bool {
+	return a.Fingerprint == b.Fingerprint && a.Stats == b.Stats && a.DB.Equal(b.DB, nil)
+}
