@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: all build vet test race fuzz crash-test ci clean
+.PHONY: all build vet test race fuzz crash-test serve-smoke ci clean
 
 all: build
 
@@ -30,7 +30,12 @@ crash-test:
 	$(GO) test -race -run 'Checkpoint|CrashRecovery|Resume|Snapshot|Torn' ./internal/core ./internal/snapshot ./datalog ./cmd/mdl
 	$(GO) test -race ./internal/faults
 
-ci: vet build race fuzz crash-test
+# End-to-end smoke test of the mdl serve subsystem over real HTTP:
+# query, assert, explain, metrics, graceful shutdown, warm restart.
+serve-smoke:
+	sh scripts/serve-smoke.sh
+
+ci: vet build race fuzz crash-test serve-smoke
 
 clean:
 	$(GO) clean ./...

@@ -1,0 +1,107 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// Flag-combination contract of the batch CLI: only genuinely
+// conflicting combinations are usage errors. -check never evaluates, so
+// it rejects the evaluation-only checkpoint flags; -resume with
+// positional fact files is accepted and arbitrated by the checkpoint's
+// program fingerprint at restore time.
+
+func TestConflictingFlagCombinations(t *testing.T) {
+	f := writeProgram(t, "sp.mdl", shortestPath)
+	cases := []struct {
+		name string
+		args []string
+	}{
+		{"check with resume", []string{"-check", "-resume", "x.ckpt", f}},
+		{"check with checkpoint", []string{"-check", "-checkpoint", "x.ckpt", f}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, errOut, code := runMdl(t, tc.args...)
+			if code != exitUsage {
+				t.Fatalf("exit %d, want %d (usage)", code, exitUsage)
+			}
+			if !strings.Contains(errOut, "-check does not evaluate") {
+				t.Fatalf("stderr must explain the conflict:\n%s", errOut)
+			}
+		})
+	}
+}
+
+// TestAcceptedFlagCombinations pins the combinations that must keep
+// working: resuming is orthogonal to querying, statistics, further
+// checkpointing, and to how many files the program is split across.
+func TestAcceptedFlagCombinations(t *testing.T) {
+	dir := t.TempDir()
+	rules := filepath.Join(dir, "rules.mdl")
+	facts := filepath.Join(dir, "facts.mdl")
+	writeFileOrFatal(t, rules, `
+.cost arc/3 : minreal.
+.cost path/4 : minreal.
+.cost s/3 : minreal.
+.ic :- arc(direct, Z, C).
+path(X, direct, Y, C) :- arc(X, Y, C).
+path(X, Z, Y, C)      :- s(X, Z, C1), arc(Z, Y, C2), C = C1 + C2.
+s(X, Y, C)            :- C ?= min D : path(X, Z, Y, D).
+`)
+	writeFileOrFatal(t, facts, "arc(a, b, 1).\narc(b, c, 2).\n")
+	ckpt := filepath.Join(dir, "sp.ckpt")
+
+	// Seed the checkpoint from the multi-file program.
+	if _, errOut, code := runMdl(t, "-checkpoint", ckpt, rules, facts); code != exitOK {
+		t.Fatalf("seed run exited %d\n%s", code, errOut)
+	}
+
+	// -resume with the same positional rule+fact files: accepted, the
+	// fingerprint matches.
+	out, errOut, code := runMdl(t, "-resume", ckpt, rules, facts)
+	if code != exitOK {
+		t.Fatalf("-resume with positional files exited %d\n%s", code, errOut)
+	}
+	if !strings.Contains(out, "s(a, c, 3)") {
+		t.Fatalf("resumed model:\n%s", out)
+	}
+
+	// -resume composes with -query.
+	out, _, code = runMdl(t, "-resume", ckpt, "-query", "s", rules, facts)
+	if code != exitOK || !strings.Contains(out, "s(a, c, 3).") {
+		t.Fatalf("-resume -query: exit %d\n%s", code, out)
+	}
+
+	// -resume composes with -stats.
+	_, errOut, code = runMdl(t, "-resume", ckpt, "-stats", rules, facts)
+	if code != exitOK || !strings.Contains(errOut, "rounds=") {
+		t.Fatalf("-resume -stats: exit %d\n%s", code, errOut)
+	}
+
+	// -resume composes with -checkpoint (continue and re-checkpoint).
+	ckpt2 := filepath.Join(dir, "sp2.ckpt")
+	if _, errOut, code = runMdl(t, "-resume", ckpt, "-checkpoint", ckpt2, rules, facts); code != exitOK {
+		t.Fatalf("-resume -checkpoint: exit %d\n%s", code, errOut)
+	}
+	if out2, errOut, code := runMdl(t, "-resume", ckpt2, rules, facts); code != exitOK || !strings.Contains(out2, "s(a, c, 3)") {
+		t.Fatalf("re-checkpointed model: exit %d\n%s\n%s", code, out2, errOut)
+	}
+
+	// A genuinely different program is still rejected at restore time
+	// with the checkpoint exit code — the protection -resume relies on.
+	extra := filepath.Join(dir, "extra.mdl")
+	writeFileOrFatal(t, extra, "arc(x, y, 5).\n")
+	if _, _, code := runMdl(t, "-resume", ckpt, rules, facts, extra); code != exitCheckpoint {
+		t.Fatalf("changed program must exit %d, got %d", exitCheckpoint, code)
+	}
+}
+
+func writeFileOrFatal(t *testing.T, path, content string) {
+	t.Helper()
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -42,6 +42,10 @@
 // static check, 4 evaluation failure, 5 checkpoint or restore failure
 // (unwritable sink, corrupt or torn checkpoint file, program
 // fingerprint mismatch).
+//
+// The serve subcommand (mdl serve [flags] program.mdl ...) runs the
+// long-lived HTTP/JSON query service instead of a batch solve; see
+// serve.go and docs/SERVER.md.
 package main
 
 import (
@@ -54,6 +58,7 @@ import (
 	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
 
 	"repro/datalog"
 )
@@ -70,13 +75,16 @@ const (
 )
 
 func main() {
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	os.Exit(run(ctx, os.Args[1:], os.Stdout, os.Stderr))
 }
 
 // run is the testable entry point; it returns the process exit code.
 func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
+	if len(args) > 0 && args[0] == "serve" {
+		return runServe(ctx, args[1:], stdout, stderr)
+	}
 	fs := flag.NewFlagSet("mdl", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	check := fs.Bool("check", false, "run static checks only")
@@ -121,6 +129,18 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	})
 	if timeoutSet && *timeout <= 0 {
 		return usage("-timeout must be > 0")
+	}
+	// -check never evaluates, so evaluation-only flags genuinely conflict
+	// with it. -resume combined with positional program/fact files does
+	// NOT conflict up front: the files are needed to reload the program,
+	// and extra or changed fact files are arbitrated by the checkpoint's
+	// program fingerprint at restore time (exit 5 on a real mismatch)
+	// rather than rejected blindly here.
+	if *check && *resumePath != "" {
+		return usage("-check does not evaluate; it cannot be combined with -resume")
+	}
+	if *check && *ckptPath != "" {
+		return usage("-check does not evaluate; it cannot be combined with -checkpoint")
 	}
 	if fs.NArg() == 0 {
 		fmt.Fprintln(stderr, "usage: mdl [flags] program.mdl ...")

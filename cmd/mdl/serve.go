@@ -1,0 +1,207 @@
+// The serve subcommand: a long-lived query service over materialized
+// models.
+//
+// Usage:
+//
+//	mdl serve [flags] program.mdl [more.mdl ...]
+//
+// Each positional file is served as its own program, named after its
+// base name (shortestpath.mdl -> "shortestpath"); with -join all files
+// are concatenated into a single program, as the batch CLI does. The
+// least model of every program is materialized once at startup (or
+// warm-started from a PR-2 snapshot), then concurrent readers query it
+// lock-free over HTTP/JSON while asserts extend it through a
+// single-writer path. See docs/SERVER.md for the API.
+//
+// Flags:
+//
+//	-addr a        listen address (default 127.0.0.1:8317)
+//	-join          serve all files concatenated as one program
+//	-name n        program name with -join (default: first file's base name)
+//	-eps ε         numeric convergence tolerance
+//	-max-rounds N  fixpoint round bound per component
+//	-max-facts N   derivation budget per solve and per assert batch
+//	-timeout d     wall-clock budget per solve and per assert batch
+//	-trace         record provenance for /v1/explain (default true)
+//	-checkpoint f  warm-start from f when it exists; flush a final
+//	               snapshot to f on graceful shutdown (single program only)
+//	-resume f      warm-start from f, which must exist (single program only)
+//
+// SIGINT/SIGTERM shut the server down gracefully: in-flight requests
+// drain, and with -checkpoint set a final snapshot is flushed so the
+// next start resumes the accumulated model. Exit codes match the batch
+// CLI: 0 clean shutdown, 1 usage, 2 parse, 3 static, 4 evaluation
+// failure at startup, 5 checkpoint/restore failure.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"repro/datalog"
+	"repro/internal/server"
+)
+
+// serveListening, when set (by tests), receives the bound address once
+// the server is accepting connections.
+var serveListening func(addr net.Addr)
+
+func runServe(ctx context.Context, args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("mdl serve", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	addr := fs.String("addr", "127.0.0.1:8317", "listen address")
+	join := fs.Bool("join", false, "serve all files concatenated as one program")
+	name := fs.String("name", "", "program name with -join")
+	eps := fs.Float64("eps", 0, "numeric convergence tolerance")
+	maxRounds := fs.Int("max-rounds", 0, "fixpoint round bound per component")
+	maxFacts := fs.Int64("max-facts", 0, "derivation budget per solve and per assert batch (0 = unlimited)")
+	timeout := fs.Duration("timeout", 0, "wall-clock budget per solve and per assert batch (0 = none)")
+	trace := fs.Bool("trace", true, "record provenance for /v1/explain")
+	ckptPath := fs.String("checkpoint", "", "warm-start from this snapshot when present; flush to it on shutdown")
+	resumePath := fs.String("resume", "", "warm-start from this snapshot (must exist)")
+	if err := fs.Parse(args); err != nil {
+		return exitUsage
+	}
+	usage := func(msg string) int {
+		fmt.Fprintln(stderr, "mdl serve:", msg)
+		return exitUsage
+	}
+	if *eps < 0 {
+		return usage("-eps must be ≥ 0")
+	}
+	if *maxRounds < 0 {
+		return usage("-max-rounds must be ≥ 0")
+	}
+	if *maxFacts < 0 {
+		return usage("-max-facts must be ≥ 0")
+	}
+	if *timeout < 0 {
+		return usage("-timeout must be ≥ 0")
+	}
+	if fs.NArg() == 0 {
+		fmt.Fprintln(stderr, "usage: mdl serve [flags] program.mdl ...")
+		fs.PrintDefaults()
+		return exitUsage
+	}
+	if *name != "" && !*join {
+		return usage("-name only applies with -join")
+	}
+
+	opts := datalog.Options{
+		Epsilon:     *eps,
+		MaxRounds:   *maxRounds,
+		MaxFacts:    *maxFacts,
+		MaxDuration: *timeout,
+		Trace:       *trace,
+	}
+	specs, code := serveSpecs(fs.Args(), *join, *name, opts, stderr)
+	if code != exitOK {
+		return code
+	}
+	if (*ckptPath != "" || *resumePath != "") && len(specs) != 1 {
+		return usage("-checkpoint/-resume apply to a single program; use -join or pass one file")
+	}
+	if len(specs) == 1 {
+		specs[0].Checkpoint = *ckptPath
+		specs[0].Resume = *resumePath
+	}
+
+	logf := func(format string, a ...any) { fmt.Fprintf(stderr, "mdl serve: "+format+"\n", a...) }
+	s, err := server.New(specs, server.Config{RequestTimeout: *timeout, Logf: logf})
+	if err != nil {
+		fmt.Fprintln(stderr, "mdl serve:", err)
+		if errors.Is(err, datalog.ErrParse) {
+			return exitParse
+		}
+		return exitStatic
+	}
+	if err := s.Materialize(ctx); err != nil {
+		fmt.Fprintln(stderr, "mdl serve:", err)
+		if errors.Is(err, datalog.ErrSnapshotCorrupt) || errors.Is(err, datalog.ErrSnapshotVersion) ||
+			errors.Is(err, datalog.ErrFingerprintMismatch) || errors.Is(err, os.ErrNotExist) {
+			return exitCheckpoint
+		}
+		return exitEval
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintln(stderr, "mdl serve:", err)
+		return exitUsage
+	}
+	logf("serving on http://%s", ln.Addr())
+	if serveListening != nil {
+		serveListening(ln.Addr())
+	}
+	httpSrv := &http.Server{Handler: s.Handler()}
+	go func() {
+		<-ctx.Done()
+		shCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		_ = httpSrv.Shutdown(shCtx)
+	}()
+	if err := httpSrv.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fmt.Fprintln(stderr, "mdl serve:", err)
+		return exitEval
+	}
+	// Graceful shutdown: flush a final snapshot so the accumulated model
+	// (initial facts plus every assert) survives the restart.
+	if err := s.FlushCheckpoints(); err != nil {
+		fmt.Fprintln(stderr, "mdl serve:", err)
+		return exitCheckpoint
+	}
+	logf("shut down cleanly")
+	return exitOK
+}
+
+// serveSpecs builds the program specs from the positional files.
+func serveSpecs(files []string, join bool, name string, opts datalog.Options, stderr io.Writer) ([]server.ProgramSpec, int) {
+	if join {
+		var src strings.Builder
+		for _, f := range files {
+			b, err := os.ReadFile(f)
+			if err != nil {
+				fmt.Fprintln(stderr, "mdl serve:", err)
+				return nil, exitUsage
+			}
+			src.Write(b)
+			src.WriteByte('\n')
+		}
+		if name == "" {
+			name = programName(files[0])
+		}
+		return []server.ProgramSpec{{Name: name, Source: src.String(), Options: opts}}, exitOK
+	}
+	specs := make([]server.ProgramSpec, 0, len(files))
+	seen := map[string]bool{}
+	for _, f := range files {
+		b, err := os.ReadFile(f)
+		if err != nil {
+			fmt.Fprintln(stderr, "mdl serve:", err)
+			return nil, exitUsage
+		}
+		n := programName(f)
+		if seen[n] {
+			fmt.Fprintf(stderr, "mdl serve: duplicate program name %q (use -join to serve the files as one program)\n", n)
+			return nil, exitUsage
+		}
+		seen[n] = true
+		specs = append(specs, server.ProgramSpec{Name: n, Source: string(b), Options: opts})
+	}
+	return specs, exitOK
+}
+
+// programName derives a service name from a file path.
+func programName(path string) string {
+	base := filepath.Base(path)
+	return strings.TrimSuffix(base, filepath.Ext(base))
+}

@@ -189,20 +189,24 @@ func (p *Program) Classify() Classification {
 	return c
 }
 
-// Value is a constant of the rule language.
-type Value struct{ v val.T }
+// Value is a constant of the rule language (or the Any wildcard, which
+// is meaningful only as a Model.Match argument).
+type Value struct {
+	v    val.T
+	wild bool
+}
 
 // Sym returns a symbol constant.
-func Sym(s string) Value { return Value{val.Symbol(s)} }
+func Sym(s string) Value { return Value{v: val.Symbol(s)} }
 
 // Num returns a numeric constant.
-func Num(n float64) Value { return Value{val.Number(n)} }
+func Num(n float64) Value { return Value{v: val.Number(n)} }
 
 // Bool returns a boolean constant (written 0/1 in rule text).
-func Bool(b bool) Value { return Value{val.Boolean(b)} }
+func Bool(b bool) Value { return Value{v: val.Boolean(b)} }
 
 // Str returns a string constant.
-func Str(s string) Value { return Value{val.String(s)} }
+func Str(s string) Value { return Value{v: val.String(s)} }
 
 // SetOf returns a set constant.
 func SetOf(elems ...Value) Value {
@@ -210,11 +214,16 @@ func SetOf(elems ...Value) Value {
 	for i, e := range elems {
 		raw[i] = e.v
 	}
-	return Value{val.T{Kind: val.SetKind, Set: val.NewSet(raw)}}
+	return Value{v: val.T{Kind: val.SetKind, Set: val.NewSet(raw)}}
 }
 
-// String renders the value in rule-language syntax.
-func (v Value) String() string { return v.v.String() }
+// String renders the value in rule-language syntax ("_" for Any).
+func (v Value) String() string {
+	if v.wild {
+		return "_"
+	}
+	return v.v.String()
+}
 
 // Float returns the numeric value of a Num (or NaN-free zero otherwise).
 func (v Value) Float() (float64, bool) {
@@ -232,8 +241,8 @@ func (v Value) Truth() (bool, bool) {
 	return false, false
 }
 
-// Equal reports value equality.
-func (v Value) Equal(o Value) bool { return val.Equal(v.v, o.v) }
+// Equal reports value equality (Any equals nothing, not even Any).
+func (v Value) Equal(o Value) bool { return !v.wild && !o.wild && val.Equal(v.v, o.v) }
 
 // Fact is a ground input fact. For a cost predicate the final value is
 // the cost.
@@ -392,7 +401,7 @@ func (m *Model) Cost(pred string, args ...Value) (Value, bool) {
 	if !ok || !row.HasCost {
 		return Value{}, false
 	}
-	return Value{row.Cost}, true
+	return Value{v: row.Cost}, true
 }
 
 func (m *Model) lookup(pred string, args []Value) (relation.Row, bool) {
@@ -412,8 +421,14 @@ func (m *Model) lookup(pred string, args []Value) (relation.Row, bool) {
 	return relation.Row{}, false
 }
 
-// Facts returns every tuple of the predicate (cost appended last for cost
-// predicates), in deterministic order.
+// Facts returns every tuple of the predicate (cost appended last for
+// cost predicates) in deterministic sorted order: ascending tuple-wise
+// over the non-cost arguments, by kind and then by each kind's natural
+// order (numbers numerically, symbols and strings lexicographically).
+// The order depends only on the tuples present — never on insertion or
+// derivation history — so output is stable across runs, resumed
+// checkpoints and incremental extensions, and safe to use in golden
+// tests and JSON responses.
 func (m *Model) Facts(pred string) [][]Value {
 	var out [][]Value
 	for _, k := range m.db.Preds() {
@@ -423,10 +438,10 @@ func (m *Model) Facts(pred string) [][]Value {
 		for _, row := range m.db.Rel(k).Rows() {
 			vs := make([]Value, 0, len(row.Args)+1)
 			for _, a := range row.Args {
-				vs = append(vs, Value{a})
+				vs = append(vs, Value{v: a})
 			}
 			if row.HasCost {
-				vs = append(vs, Value{row.Cost})
+				vs = append(vs, Value{v: row.Cost})
 			}
 			out = append(out, vs)
 		}

@@ -32,7 +32,7 @@ func RegisterIntersection(name string, universe ...Value) {
 
 // Edge builds the canonical edge value "u->v" used by graph-property
 // aggregates. In rule text, write edges as strings: {"u->v"}.
-func Edge(u, v string) Value { return Value{lattice.Edge(u, v)} }
+func Edge(u, v string) Value { return Value{v: lattice.Edge(u, v)} }
 
 // RegisterGraphProperty registers a Figure 1 row 11 aggregate: the
 // multiset elements are edge sets, and the aggregate returns whether prop
@@ -44,7 +44,7 @@ func RegisterGraphProperty(name string, prop func(edges []Value) bool) {
 		elems := s.Elems()
 		out := make([]Value, len(elems))
 		for i, e := range elems {
-			out[i] = Value{e}
+			out[i] = Value{v: e}
 		}
 		return prop(out)
 	}))

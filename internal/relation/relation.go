@@ -155,16 +155,36 @@ func (r *Relation) Each(f func(Row) bool) {
 	}
 }
 
-// Rows returns all rows in a deterministic (sorted-by-key) order, for
-// stable output.
+// Rows returns all rows in deterministic sorted order: ascending
+// tuple-wise val.Compare over the non-cost arguments (by kind, then by
+// the kind's natural order — so numbers sort numerically, not as
+// strings). The order depends only on the tuples present, never on
+// insertion history, so identical interpretations render identically
+// across runs, processes and resumed checkpoints. Rows never mutates
+// the relation and is safe for concurrent readers.
 func (r *Relation) Rows() []Row {
-	ks := append([]string{}, r.keys...)
-	sort.Strings(ks)
-	out := make([]Row, len(ks))
-	for i, k := range ks {
-		out[i] = r.data[r.rows[k]]
-	}
+	out := append([]Row{}, r.data...)
+	sort.Slice(out, func(i, j int) bool {
+		return CompareArgs(out[i].Args, out[j].Args) < 0
+	})
 	return out
+}
+
+// CompareArgs orders two argument tuples lexicographically by
+// val.Compare, shorter tuples first on a shared prefix.
+func CompareArgs(a, b []val.T) int {
+	for i := range a {
+		if i >= len(b) {
+			return 1
+		}
+		if c := val.Compare(a[i], b[i]); c != 0 {
+			return c
+		}
+	}
+	if len(a) < len(b) {
+		return -1
+	}
+	return 0
 }
 
 // projKey builds the projection key of args over the positions set in mask.

@@ -1,0 +1,405 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"time"
+
+	"repro/datalog"
+)
+
+// maxBodyBytes bounds request bodies; assert batches beyond this are
+// split by the client.
+const maxBodyBytes = 8 << 20
+
+// Handler returns the HTTP API:
+//
+//	GET  /healthz     liveness and uptime
+//	GET  /metrics     request counters/latencies and model sizes (JSON)
+//	GET  /v1/program  classification, declarations and model info
+//	POST /v1/query    point lookups (has/cost) and wildcard scans (facts)
+//	POST /v1/assert   batch EDB insertion through the single-writer path
+//	POST /v1/explain  derivation trees (requires tracing)
+//
+// Call Materialize first; the handler answers 503 for query endpoints
+// until every program has a published model.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", s.instrument("/healthz", s.handleHealthz))
+	mux.HandleFunc("GET /metrics", s.instrument("/metrics", s.handleMetrics))
+	mux.HandleFunc("GET /v1/program", s.instrument("/v1/program", s.handleProgram))
+	mux.HandleFunc("POST /v1/query", s.instrument("/v1/query", s.handleQuery))
+	mux.HandleFunc("POST /v1/assert", s.instrument("/v1/assert", s.handleAssert))
+	mux.HandleFunc("POST /v1/explain", s.instrument("/v1/explain", s.handleExplain))
+	return mux
+}
+
+// statusWriter captures the response status for metrics.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.status = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// instrument wraps a handler with latency/error accounting.
+func (s *Server) instrument(endpoint string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		r.Body = http.MaxBytesReader(sw, r.Body, maxBodyBytes)
+		h(sw, r)
+		s.metrics.observe(endpoint, sw.status, time.Since(start))
+	}
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	_ = enc.Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, e *apiError) {
+	writeJSON(w, e.status, map[string]*apiError{"error": e})
+}
+
+// statsJSON is the wire form of evaluation statistics.
+type statsJSON struct {
+	Components int   `json:"components"`
+	Rounds     int   `json:"rounds"`
+	Firings    int64 `json:"firings"`
+	Derived    int64 `json:"derived"`
+}
+
+func toStatsJSON(st datalog.Stats) statsJSON {
+	return statsJSON{Components: st.Components, Rounds: st.Rounds, Firings: st.Firings, Derived: st.Derived}
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	ready := true
+	for _, name := range s.names {
+		if s.svcs[name].current() == nil {
+			ready = false
+		}
+	}
+	status := http.StatusOK
+	state := "ok"
+	if !ready {
+		status, state = http.StatusServiceUnavailable, "materializing"
+	}
+	writeJSON(w, status, map[string]any{
+		"status":         state,
+		"uptime_seconds": time.Since(s.start).Seconds(),
+		"programs":       s.names,
+	})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	programs := map[string]any{}
+	for _, name := range s.names {
+		st := s.svcs[name].current()
+		if st == nil {
+			programs[name] = map[string]any{"materialized": false}
+			continue
+		}
+		programs[name] = map[string]any{
+			"version": st.version,
+			"size":    st.model.Size(),
+			"stats":   toStatsJSON(st.model.Stats()),
+		}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"uptime_seconds": time.Since(s.start).Seconds(),
+		"endpoints":      s.metrics.snapshot(),
+		"programs":       programs,
+	})
+}
+
+// predDeclJSON is the wire form of one predicate declaration.
+type predDeclJSON struct {
+	Name       string `json:"name"`
+	Arity      int    `json:"arity"`
+	HasCost    bool   `json:"has_cost"`
+	Lattice    string `json:"lattice,omitempty"`
+	HasDefault bool   `json:"has_default,omitempty"`
+}
+
+func (s *Server) handleProgram(w http.ResponseWriter, r *http.Request) {
+	names := s.names
+	if want := r.URL.Query().Get("name"); want != "" {
+		if _, ok := s.svcs[want]; !ok {
+			writeErr(w, errNotFound(fmt.Sprintf("unknown program %q", want)))
+			return
+		}
+		names = []string{want}
+	}
+	out := make([]map[string]any, 0, len(names))
+	for _, name := range names {
+		svc := s.svcs[name]
+		cl := svc.prog.Classify()
+		decls := svc.prog.Predicates()
+		preds := make([]predDeclJSON, len(decls))
+		for i, d := range decls {
+			preds[i] = predDeclJSON{Name: d.Name, Arity: d.Arity, HasCost: d.HasCost, Lattice: d.Lattice, HasDefault: d.HasDefault}
+		}
+		info := map[string]any{
+			"name": name,
+			"classification": map[string]any{
+				"admissible":           cl.Admissible,
+				"reason":               cl.Reason,
+				"r_monotonic":          cl.RMonotonic,
+				"aggregate_stratified": cl.AggregateStratified,
+				"negation_stratified":  cl.NegationStratified,
+			},
+			"predicates": preds,
+			"tracing":    svc.spec.Options.Trace,
+		}
+		if svc.spec.Checkpoint != "" {
+			info["checkpoint"] = svc.spec.Checkpoint
+		}
+		if st := svc.current(); st != nil {
+			info["version"] = st.version
+			info["size"] = st.model.Size()
+			info["warm_started"] = st.warm
+			info["stats"] = toStatsJSON(st.model.Stats())
+		}
+		out = append(out, info)
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"programs": out})
+}
+
+// queryRequest is the /v1/query body.
+type queryRequest struct {
+	Program string            `json:"program"`
+	Op      string            `json:"op"`
+	Pred    string            `json:"pred"`
+	Args    []json.RawMessage `json:"args"`
+}
+
+// resolve parses the common program/predicate/model triple of the read
+// and explain endpoints.
+func (s *Server) resolve(w http.ResponseWriter, program, pred string) (*service, *modelState, datalog.PredDecl, bool) {
+	svc, err := s.lookup(program)
+	if err != nil {
+		writeErr(w, errNotFound(err.Error()))
+		return nil, nil, datalog.PredDecl{}, false
+	}
+	st := svc.current()
+	if st == nil {
+		writeErr(w, &apiError{Code: "materializing", Message: "model not materialized yet", ExitCode: 4, status: http.StatusServiceUnavailable})
+		return nil, nil, datalog.PredDecl{}, false
+	}
+	if pred == "" {
+		writeErr(w, errUsage("missing \"pred\""))
+		return nil, nil, datalog.PredDecl{}, false
+	}
+	decl, ok := svc.decls[pred]
+	if !ok {
+		writeErr(w, errNotFound(fmt.Sprintf("program %s has no predicate %q", svc.name, pred)))
+		return nil, nil, datalog.PredDecl{}, false
+	}
+	return svc, st, decl, true
+}
+
+// nonCostArity is the number of lookup arguments of a predicate (the
+// cost argument is computed, not addressed).
+func nonCostArity(d datalog.PredDecl) int {
+	if d.HasCost {
+		return d.Arity - 1
+	}
+	return d.Arity
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	var req queryRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, errUsage("bad request body: "+err.Error()))
+		return
+	}
+	svc, st, decl, ok := s.resolve(w, req.Program, req.Pred)
+	if !ok {
+		return
+	}
+	wildOK := req.Op == "facts"
+	args, err := decodeArgs(req.Args, wildOK)
+	if err != nil {
+		writeErr(w, errUsage(err.Error()))
+		return
+	}
+	want := nonCostArity(decl)
+	resp := map[string]any{"program": svc.name, "op": req.Op, "pred": req.Pred, "version": st.version}
+	switch req.Op {
+	case "has", "cost":
+		if len(args) != want {
+			writeErr(w, errUsage(fmt.Sprintf("%s takes %d lookup arguments, got %d", req.Pred, want, len(args))))
+			return
+		}
+		if req.Op == "cost" && !decl.HasCost {
+			writeErr(w, errUsage(fmt.Sprintf("%s is not a cost predicate", req.Pred)))
+			return
+		}
+		if req.Op == "has" {
+			resp["found"] = st.model.Has(req.Pred, args...)
+		} else {
+			cost, found := st.model.Cost(req.Pred, args...)
+			resp["found"] = found
+			if found {
+				resp["cost"] = jsonValue{cost}
+			}
+		}
+	case "facts", "":
+		resp["op"] = "facts"
+		var rows [][]datalog.Value
+		if len(args) == 0 {
+			rows = st.model.Facts(req.Pred)
+		} else if len(args) != want {
+			writeErr(w, errUsage(fmt.Sprintf("%s takes %d lookup arguments, got %d", req.Pred, want, len(args))))
+			return
+		} else {
+			rows = st.model.Match(req.Pred, args...)
+		}
+		resp["rows"] = jsonRows(rows)
+		resp["count"] = len(rows)
+	default:
+		writeErr(w, errUsage(fmt.Sprintf("unknown op %q (want \"has\", \"cost\" or \"facts\")", req.Op)))
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// assertRequest is the /v1/assert body: one batch of EDB facts.
+type assertRequest struct {
+	Program string `json:"program"`
+	Facts   []struct {
+		Pred string            `json:"pred"`
+		Args []json.RawMessage `json:"args"`
+	} `json:"facts"`
+}
+
+func (s *Server) handleAssert(w http.ResponseWriter, r *http.Request) {
+	var req assertRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, errUsage("bad request body: "+err.Error()))
+		return
+	}
+	svc, err := s.lookup(req.Program)
+	if err != nil {
+		writeErr(w, errNotFound(err.Error()))
+		return
+	}
+	if svc.current() == nil {
+		writeErr(w, &apiError{Code: "materializing", Message: "model not materialized yet", ExitCode: 4, status: http.StatusServiceUnavailable})
+		return
+	}
+	if len(req.Facts) == 0 {
+		writeErr(w, errUsage("empty fact batch"))
+		return
+	}
+	facts := make([]datalog.Fact, len(req.Facts))
+	for i, f := range req.Facts {
+		// Validate against the load-time declarations so unknown
+		// predicates are rejected up front (the engine's schema table is
+		// shared with concurrent readers and must not grow at runtime).
+		decl, ok := svc.decls[f.Pred]
+		if !ok {
+			writeErr(w, errNotFound(fmt.Sprintf("program %s has no predicate %q", svc.name, f.Pred)))
+			return
+		}
+		if len(f.Args) != decl.Arity {
+			writeErr(w, &apiError{
+				Code:     "parse",
+				Message:  fmt.Sprintf("facts[%d]: %s takes %d arguments (cost last for cost predicates), got %d", i, f.Pred, decl.Arity, len(f.Args)),
+				ExitCode: 2, status: http.StatusBadRequest,
+			})
+			return
+		}
+		args, err := decodeArgs(f.Args, false)
+		if err != nil {
+			writeErr(w, &apiError{Code: "parse", Message: fmt.Sprintf("facts[%d]: %v", i, err), ExitCode: 2, status: http.StatusBadRequest})
+			return
+		}
+		facts[i] = datalog.NewFact(f.Pred, args...)
+	}
+	ctx := r.Context()
+	if s.cfg.RequestTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.cfg.RequestTimeout)
+		defer cancel()
+	}
+	next, stats, err := svc.assert(ctx, facts)
+	if err != nil {
+		writeErr(w, classifySolveError(err))
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"program":  svc.name,
+		"version":  next.version,
+		"size":     next.model.Size(),
+		"asserted": len(facts),
+		"stats":    toStatsJSON(stats),
+	})
+}
+
+// explainRequest is the /v1/explain body.
+type explainRequest struct {
+	Program string            `json:"program"`
+	Pred    string            `json:"pred"`
+	Args    []json.RawMessage `json:"args"`
+	Depth   int               `json:"depth"`
+}
+
+func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
+	var req explainRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, errUsage("bad request body: "+err.Error()))
+		return
+	}
+	svc, st, decl, ok := s.resolve(w, req.Program, req.Pred)
+	if !ok {
+		return
+	}
+	if !svc.spec.Options.Trace {
+		writeErr(w, &apiError{Code: "tracing_disabled", Message: "program served without tracing; restart with tracing enabled for derivation trees", ExitCode: 1, status: http.StatusConflict})
+		return
+	}
+	args, err := decodeArgs(req.Args, false)
+	if err != nil {
+		writeErr(w, errUsage(err.Error()))
+		return
+	}
+	if len(args) != nonCostArity(decl) {
+		writeErr(w, errUsage(fmt.Sprintf("%s takes %d lookup arguments, got %d", req.Pred, nonCostArity(decl), len(args))))
+		return
+	}
+	depth := req.Depth
+	if depth <= 0 {
+		depth = 10
+	}
+	rule, supports, tree, found := svc.explain(req.Pred, depth, args)
+	resp := map[string]any{
+		"program": svc.name,
+		"pred":    req.Pred,
+		"version": st.version,
+		"found":   found,
+	}
+	if found {
+		resp["rule"] = rule
+		resp["supports"] = supports
+		resp["tree"] = tree
+	} else if st.model.Has(req.Pred, args...) {
+		// Present but underived: an EDB fact is its own explanation.
+		resp["found"] = true
+		resp["rule"] = "[fact]"
+		resp["supports"] = []string{}
+		resp["tree"] = ""
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+

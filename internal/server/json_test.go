@@ -1,0 +1,140 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"strings"
+	"testing"
+
+	"repro/datalog"
+)
+
+func encodeToString(v datalog.Value) string {
+	var b bytes.Buffer
+	encodeValue(&b, v)
+	return b.String()
+}
+
+func TestEncodeValueAllKinds(t *testing.T) {
+	cases := []struct {
+		v    datalog.Value
+		want string
+	}{
+		{datalog.Sym("a"), `"a"`},
+		{datalog.Sym(`we"ird`), `"we\"ird"`},
+		{datalog.Num(3.5), `3.5`},
+		{datalog.Num(4), `4`},
+		{datalog.Num(math.Inf(1)), `{"num":"inf"}`},
+		{datalog.Num(math.Inf(-1)), `{"num":"-inf"}`},
+		{datalog.Bool(true), `true`},
+		{datalog.Bool(false), `false`},
+		{datalog.Str("x"), `{"str":"x"}`},
+		{datalog.SetOf(), `{"set":[]}`},
+		// Canonical element order, regardless of construction order.
+		{datalog.SetOf(datalog.Sym("b"), datalog.Sym("a")), `{"set":["a","b"]}`},
+		// Nested sets encode recursively.
+		{datalog.SetOf(datalog.SetOf(datalog.Num(1)), datalog.Num(2)), `{"set":[{"set":[1]},2]}`},
+	}
+	for _, c := range cases {
+		if got := encodeToString(c.v); got != c.want {
+			t.Errorf("encode(%s) = %s, want %s", c.v, got, c.want)
+		}
+	}
+}
+
+// TestValueRoundTrip decodes every encoding back to an equal value.
+func TestValueRoundTrip(t *testing.T) {
+	values := []datalog.Value{
+		datalog.Sym("a"),
+		datalog.Num(3.5),
+		datalog.Num(math.Inf(1)),
+		datalog.Num(math.Inf(-1)),
+		datalog.Bool(true),
+		datalog.Str("x"),
+		datalog.Str(""),
+		datalog.SetOf(datalog.Sym("a"), datalog.Num(1), datalog.Str("s")),
+		datalog.SetOf(datalog.SetOf(datalog.Sym("a")), datalog.SetOf()),
+	}
+	for _, v := range values {
+		enc := encodeToString(v)
+		got, err := decodeValue(json.RawMessage(enc), false)
+		if err != nil {
+			t.Errorf("decode(%s): %v", enc, err)
+			continue
+		}
+		if !got.Equal(v) {
+			t.Errorf("round trip %s -> %s -> %s", v, enc, got)
+		}
+		// Determinism: re-encoding the decoded value is byte-identical.
+		if re := encodeToString(got); re != enc {
+			t.Errorf("re-encode %s differs: %s", enc, re)
+		}
+	}
+}
+
+func TestDecodeValueForms(t *testing.T) {
+	// Accepted alternative spellings.
+	okCases := []struct {
+		in   string
+		want datalog.Value
+	}{
+		{`{"num":7}`, datalog.Num(7)},       // numeric object form
+		{`{"num":"7.5"}`, datalog.Num(7.5)}, // stringified number
+		{`{"bool":true}`, datalog.Bool(true)},
+		{`  "a" `, datalog.Sym("a")}, // surrounding whitespace
+	}
+	for _, c := range okCases {
+		got, err := decodeValue(json.RawMessage(c.in), false)
+		if err != nil || !got.Equal(c.want) {
+			t.Errorf("decode(%s) = %v, %v; want %s", c.in, got, err, c.want)
+		}
+	}
+
+	// Wildcards decode only where patterns are allowed.
+	if v, err := decodeValue(json.RawMessage(`null`), true); err != nil || v.Kind() != datalog.AnyValue {
+		t.Errorf("null with allowWild: %v, %v", v, err)
+	}
+	if _, err := decodeValue(json.RawMessage(`null`), false); err == nil {
+		t.Error("null without allowWild must fail")
+	}
+
+	// Rejected forms.
+	badCases := []string{
+		``, `[1,2]`, `{"str":1}`, `{"num":"abc"}`, `{"set":{}}`,
+		`{"frob":1}`, `{"str":"a","num":"1"}`, `{}`, `nul`, `tru`, `12x`,
+		`{"set":[null]}`, // wildcard inside a set literal
+	}
+	for _, in := range badCases {
+		if v, err := decodeValue(json.RawMessage(in), true); err == nil {
+			t.Errorf("decode(%s) = %v, want error", in, v)
+		}
+	}
+}
+
+func TestJSONRowsShape(t *testing.T) {
+	rows := jsonRows{
+		{datalog.Sym("a"), datalog.Num(1)},
+		{datalog.Sym("b"), datalog.SetOf(datalog.Sym("x"))},
+	}
+	b, err := json.Marshal(map[string]any{"rows": rows})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := `{"rows":[["a",1],["b",{"set":["x"]}]]}`
+	if string(b) != want {
+		t.Fatalf("rows JSON %s, want %s", b, want)
+	}
+	if b, _ := json.Marshal(jsonRows{}); string(b) != `[]` {
+		t.Fatalf("empty rows must be [], got %s", b)
+	}
+}
+
+func TestDecodeArgsErrorsNamePosition(t *testing.T) {
+	_, err := decodeArgs([]json.RawMessage{
+		json.RawMessage(`"a"`), json.RawMessage(`[]`),
+	}, false)
+	if err == nil || !strings.Contains(err.Error(), "args[1]") {
+		t.Fatalf("error must name the argument position: %v", err)
+	}
+}

@@ -1,0 +1,83 @@
+package server
+
+import (
+	"net/http"
+	"sync/atomic"
+	"time"
+)
+
+// metrics holds hand-rolled (stdlib-only) counters: one latency/error
+// record per endpoint, updated with atomics so the read path stays
+// lock-free. /metrics renders them as deterministic JSON — struct field
+// order is fixed and program maps are emitted in sorted name order by
+// encoding/json.
+type metrics struct {
+	endpoints map[string]*endpointStats
+}
+
+// endpointStats aggregates one endpoint's traffic.
+type endpointStats struct {
+	count    atomic.Int64
+	errors   atomic.Int64
+	sumNanos atomic.Int64
+	maxNanos atomic.Int64
+}
+
+// metricEndpoints fixes the set of tracked endpoints (and their render
+// order is the sorted key order of the JSON map).
+var metricEndpoints = []string{
+	"/healthz", "/metrics", "/v1/assert", "/v1/explain", "/v1/program", "/v1/query",
+}
+
+func newMetrics() *metrics {
+	m := &metrics{endpoints: map[string]*endpointStats{}}
+	for _, e := range metricEndpoints {
+		m.endpoints[e] = &endpointStats{}
+	}
+	return m
+}
+
+// observe records one request against its endpoint.
+func (m *metrics) observe(endpoint string, status int, elapsed time.Duration) {
+	es, ok := m.endpoints[endpoint]
+	if !ok {
+		return
+	}
+	es.count.Add(1)
+	if status >= http.StatusBadRequest {
+		es.errors.Add(1)
+	}
+	n := elapsed.Nanoseconds()
+	es.sumNanos.Add(n)
+	for {
+		old := es.maxNanos.Load()
+		if n <= old || es.maxNanos.CompareAndSwap(old, n) {
+			return
+		}
+	}
+}
+
+// endpointMetrics is the rendered form of one endpoint's stats.
+type endpointMetrics struct {
+	Count     int64   `json:"count"`
+	Errors    int64   `json:"errors"`
+	AvgMillis float64 `json:"avg_ms"`
+	MaxMillis float64 `json:"max_ms"`
+}
+
+func (m *metrics) snapshot() map[string]endpointMetrics {
+	out := make(map[string]endpointMetrics, len(m.endpoints))
+	for name, es := range m.endpoints {
+		count := es.count.Load()
+		em := endpointMetrics{
+			Count:     count,
+			Errors:    es.errors.Load(),
+			MaxMillis: float64(es.maxNanos.Load()) / 1e6,
+		}
+		if count > 0 {
+			em.AvgMillis = float64(es.sumNanos.Load()) / float64(count) / 1e6
+		}
+		out[name] = em
+	}
+	return out
+}

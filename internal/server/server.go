@@ -1,0 +1,292 @@
+// Package server is the concurrent query-service subsystem over
+// materialized models: a long-lived HTTP/JSON layer that loads one or
+// more programs, computes their least models once, and answers many
+// cheap read queries against them.
+//
+// The design splits reads from writes around the monotonicity of T_P:
+//
+//   - Reads (/v1/query, /v1/program, /healthz, /metrics) never take a
+//     lock. Each service holds its current *datalog.Model behind an
+//     atomic pointer; models are immutable once published, and every
+//     facade call used by the read path (Has, Cost, Facts, Match, Size,
+//     Stats) is documented lock-free-safe for concurrent readers.
+//
+//   - Writes (/v1/assert) go through a single-writer path per program:
+//     a mutex serializes batches, each batch runs SolveMoreContext
+//     against the current model (producing a fresh extended model — the
+//     old one is never mutated), and the new model is atomically swapped
+//     in only after it has converged. Concurrent readers therefore
+//     observe either the old least model or the new one, never a partial
+//     interpretation. Soundness is the checkpoint/resume argument of
+//     monotonic aggregation: adding EDB facts only grows the least model,
+//     so the old model is a valid intermediate interpretation of the new
+//     fixpoint (Ross & Sagiv, Corollary 3.5 plus monotonicity of T_P).
+//
+//   - /v1/explain also serializes with the writer: derivation traces
+//     live in the engine and are updated during solves, so explains
+//     briefly take the same writer mutex. They are diagnostic, not a
+//     serving hot path.
+//
+// A failed assert (budget breach, divergence, cancellation, or a
+// non-monotone addition) leaves the published model untouched: the
+// service keeps answering from the last good fixpoint and reports a
+// structured error mirroring the CLI's exit-code contract.
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io/fs"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/datalog"
+)
+
+// Config tunes the server; the zero value is a good default.
+type Config struct {
+	// RequestTimeout bounds each request's handler (solve deadlines for
+	// asserts, encode time for large reads). 0 means no per-request
+	// deadline beyond the program's own MaxDuration.
+	RequestTimeout time.Duration
+	// Logf receives one line per notable event (nil = silent).
+	Logf func(format string, args ...any)
+}
+
+// ProgramSpec names one program to serve.
+type ProgramSpec struct {
+	// Name is the key clients address the program by.
+	Name string
+	// Source is the program text (rules, declarations and facts).
+	Source string
+	// Options configures evaluation; Trace enables /v1/explain.
+	Options datalog.Options
+	// Checkpoint, when non-empty, is a snapshot path: if the file exists
+	// the service warm-starts from it (RestoreFile + Resume) instead of
+	// solving from scratch, and Close flushes a final snapshot to it.
+	Checkpoint string
+	// Resume, when non-empty, is an explicit warm-start source; it is
+	// read at Materialize time and must exist. It overrides Checkpoint
+	// as the warm-start source but not as the flush target.
+	Resume string
+}
+
+// modelState is one published generation of a service's model.
+type modelState struct {
+	model *datalog.Model
+	// version counts successful materializations and asserts, starting
+	// at 1 for the initial least model.
+	version uint64
+	// warm records whether this generation chain began from a snapshot.
+	warm bool
+}
+
+// service is one program being served.
+type service struct {
+	name string
+	prog *datalog.Program
+	spec ProgramSpec
+	// cur is the currently published model; readers Load it and never
+	// lock. Writers replace it wholesale under writeMu.
+	cur atomic.Pointer[modelState]
+	// writeMu serializes the single-writer path: asserts, explains
+	// (traces live in the engine) and checkpoint flushes.
+	writeMu sync.Mutex
+	// arity maps predicate name -> non-cost arity for every declared
+	// predicate, fixed at load time (so the read path never consults —
+	// or lazily extends — mutable schema state).
+	decls map[string]datalog.PredDecl
+}
+
+// Server hosts a set of services and their HTTP API.
+type Server struct {
+	cfg     Config
+	svcs    map[string]*service
+	names   []string // sorted service names
+	start   time.Time
+	metrics *metrics
+}
+
+// New loads every program spec (reporting load errors immediately, with
+// datalog.ErrParse/ErrStatic preserved) but does not evaluate anything;
+// call Materialize before Handler goes live.
+func New(specs []ProgramSpec, cfg Config) (*Server, error) {
+	if len(specs) == 0 {
+		return nil, fmt.Errorf("server: no programs to serve")
+	}
+	s := &Server{
+		cfg:     cfg,
+		svcs:    map[string]*service{},
+		start:   time.Now(),
+		metrics: newMetrics(),
+	}
+	for _, spec := range specs {
+		if spec.Name == "" {
+			return nil, fmt.Errorf("server: program with empty name")
+		}
+		if _, dup := s.svcs[spec.Name]; dup {
+			return nil, fmt.Errorf("server: duplicate program name %q", spec.Name)
+		}
+		p, err := datalog.Load(spec.Source, spec.Options)
+		if err != nil {
+			return nil, fmt.Errorf("server: program %s: %w", spec.Name, err)
+		}
+		svc := &service{name: spec.Name, prog: p, spec: spec, decls: map[string]datalog.PredDecl{}}
+		for _, d := range p.Predicates() {
+			// On a name collision across arities keep the first (sorted)
+			// declaration; query handlers resolve by name only.
+			if _, ok := svc.decls[d.Name]; !ok {
+				svc.decls[d.Name] = d
+			}
+		}
+		s.svcs[spec.Name] = svc
+		s.names = append(s.names, spec.Name)
+	}
+	for i := 1; i < len(s.names); i++ {
+		for j := i; j > 0 && s.names[j] < s.names[j-1]; j-- {
+			s.names[j], s.names[j-1] = s.names[j-1], s.names[j]
+		}
+	}
+	return s, nil
+}
+
+func (s *Server) logf(format string, args ...any) {
+	if s.cfg.Logf != nil {
+		s.cfg.Logf(format, args...)
+	}
+}
+
+// Materialize computes (or warm-starts) the least model of every
+// service. It must complete before the handler serves queries.
+func (s *Server) Materialize(ctx context.Context) error {
+	for _, name := range s.names {
+		svc := s.svcs[name]
+		start := time.Now()
+		m, warm, err := svc.materialize(ctx)
+		if err != nil {
+			return fmt.Errorf("server: materialize %s: %w", name, err)
+		}
+		svc.cur.Store(&modelState{model: m, version: 1, warm: warm})
+		how := "solved"
+		if warm {
+			how = "warm-started"
+		}
+		s.logf("program %s: %s in %s (%d tuples, %d rounds)",
+			name, how, time.Since(start).Round(time.Millisecond), m.Size(), m.Stats().Rounds)
+	}
+	return nil
+}
+
+// materialize computes the initial least model of one service,
+// warm-starting from a snapshot when configured.
+func (svc *service) materialize(ctx context.Context) (*datalog.Model, bool, error) {
+	warmFrom := svc.spec.Resume
+	optional := false
+	if warmFrom == "" && svc.spec.Checkpoint != "" {
+		// A checkpoint path doubles as an opportunistic warm-start
+		// source so a restarted server resumes where it left off.
+		warmFrom, optional = svc.spec.Checkpoint, true
+	}
+	if warmFrom != "" {
+		restored, err := svc.prog.RestoreFile(warmFrom)
+		switch {
+		case err == nil:
+			m, _, rerr := svc.prog.Resume(ctx, restored)
+			if rerr != nil {
+				return nil, true, rerr
+			}
+			return m, true, nil
+		case optional && errors.Is(err, fs.ErrNotExist):
+			// No snapshot yet: fall through to a cold solve.
+		default:
+			return nil, false, err
+		}
+	}
+	m, _, err := svc.prog.SolveContext(ctx, nil)
+	if err != nil {
+		return nil, false, err
+	}
+	return m, false, nil
+}
+
+// current returns the published model state (nil before Materialize).
+func (svc *service) current() *modelState { return svc.cur.Load() }
+
+// assert runs one batch of EDB facts through the single-writer path:
+// serialize, extend the current model with SolveMoreContext, and swap
+// the converged result in atomically. On any error the published model
+// is left untouched and the error is returned for status mapping.
+func (svc *service) assert(ctx context.Context, facts []datalog.Fact) (*modelState, datalog.Stats, error) {
+	svc.writeMu.Lock()
+	defer svc.writeMu.Unlock()
+	cur := svc.cur.Load()
+	m, stats, err := svc.prog.SolveMoreContext(ctx, cur.model, facts)
+	if err != nil {
+		return nil, stats, err
+	}
+	next := &modelState{model: m, version: cur.version + 1, warm: cur.warm}
+	svc.cur.Store(next)
+	return next, stats, nil
+}
+
+// explain renders a derivation under the writer mutex (traces live in
+// the engine and are rewritten during asserts).
+func (svc *service) explain(pred string, depth int, args []datalog.Value) (rule string, supports []string, tree string, ok bool) {
+	svc.writeMu.Lock()
+	defer svc.writeMu.Unlock()
+	m := svc.cur.Load().model
+	rule, supports, ok = m.Explain(pred, args...)
+	if !ok {
+		return "", nil, "", false
+	}
+	return rule, supports, m.ExplainTree(pred, depth, args...), true
+}
+
+// FlushCheckpoints writes a final snapshot for every service configured
+// with a checkpoint path. It is called on graceful shutdown; the first
+// error is returned after all services have been attempted.
+func (s *Server) FlushCheckpoints() error {
+	var first error
+	for _, name := range s.names {
+		svc := s.svcs[name]
+		if svc.spec.Checkpoint == "" {
+			continue
+		}
+		svc.writeMu.Lock()
+		st := svc.cur.Load()
+		var err error
+		if st != nil {
+			err = st.model.WriteSnapshot(svc.spec.Checkpoint)
+		}
+		svc.writeMu.Unlock()
+		if err != nil {
+			s.logf("program %s: final checkpoint: %v", name, err)
+			if first == nil {
+				first = fmt.Errorf("server: checkpoint %s: %w", name, err)
+			}
+			continue
+		}
+		if st != nil {
+			s.logf("program %s: checkpoint flushed to %s (version %d)", name, svc.spec.Checkpoint, st.version)
+		}
+	}
+	return first
+}
+
+// lookup resolves a program name; an empty name resolves to the sole
+// service when exactly one program is being served.
+func (s *Server) lookup(name string) (*service, error) {
+	if name == "" {
+		if len(s.names) == 1 {
+			return s.svcs[s.names[0]], nil
+		}
+		return nil, fmt.Errorf("server: %d programs served, name one of %v", len(s.names), s.names)
+	}
+	svc, ok := s.svcs[name]
+	if !ok {
+		return nil, fmt.Errorf("server: unknown program %q", name)
+	}
+	return svc, nil
+}

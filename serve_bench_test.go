@@ -1,0 +1,106 @@
+// Benchmarks for the query-service subsystem: point lookups against a
+// materialized shortest-path model, through the model facade and
+// through the full HTTP stack.
+package repro_test
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/datalog"
+	"repro/internal/gen"
+	"repro/internal/programs"
+	"repro/internal/server"
+)
+
+// BenchmarkServeQuery measures the serving read path on graphs of
+// increasing size: Cost/Has point lookups on the materialized model
+// directly (the lock-free in-process path) and the same lookup through
+// a /v1/query HTTP round trip.
+func BenchmarkServeQuery(b *testing.B) {
+	for _, n := range []int{32, 128} {
+		g := gen.Graph(gen.CycleGraph, n, 4*n, 9, int64(n))
+		src := programs.ShortestPath + gen.GraphFacts(g)
+
+		s, err := server.New([]server.ProgramSpec{{Name: "sp", Source: src}}, server.Config{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := s.Materialize(context.Background()); err != nil {
+			b.Fatal(err)
+		}
+		ts := httptest.NewServer(s.Handler())
+
+		p, err := datalog.Load(src, datalog.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		m, _, err := p.Solve()
+		if err != nil {
+			b.Fatal(err)
+		}
+		// Look up an existing tuple so the benchmark measures a hit.
+		rows := m.Facts("s")
+		if len(rows) == 0 {
+			b.Fatal("no s tuples")
+		}
+		from, to := rows[len(rows)/2][0], rows[len(rows)/2][1]
+
+		b.Run(fmt.Sprintf("model/n=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, ok := m.Cost("s", from, to); !ok {
+					b.Fatal("lookup missed")
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("http/n=%d", n), func(b *testing.B) {
+			body := fmt.Sprintf(`{"op":"cost","pred":"s","args":[%q,%q]}`, from.String(), to.String())
+			client := ts.Client()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				resp, err := client.Post(ts.URL+"/v1/query", "application/json", strings.NewReader(body))
+				if err != nil {
+					b.Fatal(err)
+				}
+				if resp.StatusCode != http.StatusOK {
+					b.Fatalf("status %d", resp.StatusCode)
+				}
+				resp.Body.Close()
+			}
+		})
+		ts.Close()
+	}
+}
+
+// BenchmarkServeAssert measures the single-writer path: one new edge
+// per iteration, each extending the fixpoint incrementally.
+func BenchmarkServeAssert(b *testing.B) {
+	g := gen.Graph(gen.CycleGraph, 64, 256, 9, 64)
+	src := programs.ShortestPath + gen.GraphFacts(g)
+	s, err := server.New([]server.ProgramSpec{{Name: "sp", Source: src}}, server.Config{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := s.Materialize(context.Background()); err != nil {
+		b.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	client := ts.Client()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		body := fmt.Sprintf(`{"facts":[{"pred":"arc","args":["n1","x%d",3]}]}`, i)
+		resp, err := client.Post(ts.URL+"/v1/assert", "application/json", strings.NewReader(body))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			b.Fatalf("status %d", resp.StatusCode)
+		}
+		resp.Body.Close()
+	}
+}
