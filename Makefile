@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: all build vet test race fuzz crash-test serve-smoke ci clean
+.PHONY: all build vet test race fuzz crash-test serve-smoke bench bench-smoke ci clean
 
 all: build
 
@@ -35,7 +35,16 @@ crash-test:
 serve-smoke:
 	sh scripts/serve-smoke.sh
 
-ci: vet build race fuzz crash-test serve-smoke
+# Full benchmark run; writes BENCH_<date>.json at the repo root.
+bench:
+	sh scripts/bench.sh
+
+# One iteration per benchmark: proves every benchmark still compiles
+# and runs without paying for statistically meaningful timings.
+bench-smoke:
+	BENCHTIME=1x BENCH_OUT=/tmp/bench-smoke.json sh scripts/bench.sh
+
+ci: vet build race fuzz crash-test serve-smoke bench-smoke
 
 clean:
 	$(GO) clean ./...

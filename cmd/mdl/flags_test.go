@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"os"
 	"path/filepath"
 	"strings"
@@ -21,6 +22,8 @@ func TestConflictingFlagCombinations(t *testing.T) {
 	}{
 		{"check with resume", []string{"-check", "-resume", "x.ckpt", f}},
 		{"check with checkpoint", []string{"-check", "-checkpoint", "x.ckpt", f}},
+		{"check with stats", []string{"-check", "-stats", f}},
+		{"check with pprof", []string{"-check", "-pprof-addr", "127.0.0.1:0", f}},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -103,5 +106,67 @@ func writeFileOrFatal(t *testing.T, path, content string) {
 	t.Helper()
 	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestStatsFlagOutput pins the -stats report: scalar totals plus the
+// per-component and per-rule hot-spot tables on stderr.
+func TestStatsFlagOutput(t *testing.T) {
+	f := writeProgram(t, "sp.mdl", shortestPath)
+	_, errOut, code := runMdl(t, "-stats", f)
+	if code != exitOK {
+		t.Fatalf("exit %d\n%s", code, errOut)
+	}
+	for _, want := range []string{
+		"components=", "rounds=", "firings=", "derived=", "probes=",
+		"rule hot spots (by cumulative time):",
+		"s(X, Y, C) :- C ?= min D : path(X, Z, Y, D).",
+		"comp=",
+	} {
+		if !strings.Contains(errOut, want) {
+			t.Fatalf("missing %q in -stats output:\n%s", want, errOut)
+		}
+	}
+}
+
+// TestPprofFlag: -pprof-addr starts a live pprof listener for the
+// duration of the run.
+func TestPprofFlag(t *testing.T) {
+	f := writeProgram(t, "sp.mdl", shortestPath)
+	_, errOut, code := runMdl(t, "-pprof-addr", "127.0.0.1:0", f)
+	if code != exitOK {
+		t.Fatalf("exit %d\n%s", code, errOut)
+	}
+	if !strings.Contains(errOut, "pprof listening on http://") {
+		t.Fatalf("no pprof listener announcement:\n%s", errOut)
+	}
+	// A bad address is a usage error.
+	if _, _, code := runMdl(t, "-pprof-addr", "256.0.0.1:bogus", f); code != exitUsage {
+		t.Fatalf("bad pprof address must be a usage error, got exit %d", code)
+	}
+}
+
+// TestServeFlagValidation covers the serve-only observability flags.
+func TestServeFlagValidation(t *testing.T) {
+	f := writeProgram(t, "sp.mdl", shortestPath)
+	cases := []struct {
+		name     string
+		args     []string
+		wantFrag string
+	}{
+		{"bad log format", []string{"-log-format", "xml", f}, "-log-format must be text or json"},
+		{"negative slow request", []string{"-slow-request", "-1s", f}, "-slow-request must be ≥ 0"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var out, errb strings.Builder
+			code := runServe(context.Background(), tc.args, &out, &errb)
+			if code != exitUsage {
+				t.Fatalf("exit %d, want %d (usage)", code, exitUsage)
+			}
+			if !strings.Contains(errb.String(), tc.wantFrag) {
+				t.Fatalf("stderr must explain:\n%s", errb.String())
+			}
+		})
 	}
 }

@@ -14,7 +14,10 @@
 //	-max-facts N   derivation budget per solve (0 = unlimited)
 //	-timeout d     wall-clock budget for evaluation, e.g. 1s (0 = none)
 //	-query pred    print only the tuples of one predicate
-//	-stats         print evaluation statistics to stderr
+//	-stats         print evaluation statistics to stderr, including
+//	               per-component and per-rule hot-spot tables
+//	-pprof-addr a  serve net/http/pprof on its own listener at address a
+//	               while evaluating (e.g. localhost:6060)
 //	-unchecked     skip the static checks (minimal model no longer guaranteed)
 //	-wfs-fallback  evaluate negation-recursive components by WFS (§6.3)
 //	-explain atom  print the derivation tree of one ground atom, e.g.
@@ -56,6 +59,7 @@ import (
 	"io"
 	"os"
 	"os/signal"
+	"sort"
 	"strconv"
 	"strings"
 	"syscall"
@@ -101,6 +105,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	ckptPath := fs.String("checkpoint", "", "durably checkpoint the evolving model to this file")
 	ckptEvery := fs.Int("checkpoint-every", 1, "rounds between periodic checkpoints (with -checkpoint)")
 	resumePath := fs.String("resume", "", "resume evaluation from a checkpoint file written by -checkpoint")
+	pprofAddr := fs.String("pprof-addr", "", "serve net/http/pprof on this address (separate listener) during evaluation")
 	if err := fs.Parse(args); err != nil {
 		return exitUsage
 	}
@@ -141,6 +146,12 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	}
 	if *check && *ckptPath != "" {
 		return usage("-check does not evaluate; it cannot be combined with -checkpoint")
+	}
+	if *check && *stats {
+		return usage("-check does not evaluate; it cannot be combined with -stats")
+	}
+	if *check && *pprofAddr != "" {
+		return usage("-check does not evaluate; it cannot be combined with -pprof-addr")
 	}
 	if fs.NArg() == 0 {
 		fmt.Fprintln(stderr, "usage: mdl [flags] program.mdl ...")
@@ -191,6 +202,14 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 			return exitStatic
 		}
 		return exitOK
+	}
+	if *pprofAddr != "" {
+		closer, perr := startPprof(*pprofAddr, stderr)
+		if perr != nil {
+			fmt.Fprintln(stderr, "mdl:", perr)
+			return exitUsage
+		}
+		defer closer.Close()
 	}
 	var solveOpts []datalog.SolveOption
 	if *ckptPath != "" {
@@ -259,8 +278,54 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 }
 
 func printStats(w io.Writer, st datalog.Stats) {
-	fmt.Fprintf(w, "components=%d rounds=%d firings=%d derived=%d\n",
-		st.Components, st.Rounds, st.Firings, st.Derived)
+	fmt.Fprintf(w, "components=%d rounds=%d firings=%d derived=%d probes=%d\n",
+		st.Components, st.Rounds, st.Firings, st.Derived, st.Probes)
+	if len(st.Comps) > 0 {
+		fmt.Fprintln(w, "components:")
+		for _, cs := range st.Comps {
+			flags := ""
+			if cs.WFS {
+				flags = " wfs"
+			} else if !cs.Admissible {
+				flags = " non-admissible"
+			}
+			fmt.Fprintf(w, "  #%-3d %-32s rounds=%-5d firings=%-8d derived=%-8d probes=%-8d time=%s%s\n",
+				cs.Index, truncateRule(cs.Preds, 32), cs.Rounds, cs.Firings, cs.Derived, cs.Probes,
+				formatNanos(cs.Nanos), flags)
+		}
+	}
+	if len(st.Rules) == 0 {
+		return
+	}
+	// Hot-spot table: rules sorted by cumulative evaluation time.
+	rules := append([]datalog.RuleStats(nil), st.Rules...)
+	sort.SliceStable(rules, func(i, j int) bool { return rules[i].Nanos > rules[j].Nanos })
+	fmt.Fprintln(w, "rule hot spots (by cumulative time):")
+	for _, rs := range rules {
+		fmt.Fprintf(w, "  %9s %-48s comp=%-3d rounds=%-5d firings=%-8d derived=%-8d probes=%d\n",
+			formatNanos(rs.Nanos), truncateRule(rs.Rule, 48), rs.Component,
+			rs.Rounds, rs.Firings, rs.Derived, rs.Probes)
+	}
+}
+
+// formatNanos renders a nanosecond total compactly (µs/ms/s).
+func formatNanos(n int64) string {
+	switch {
+	case n >= 1e9:
+		return fmt.Sprintf("%.2fs", float64(n)/1e9)
+	case n >= 1e6:
+		return fmt.Sprintf("%.1fms", float64(n)/1e6)
+	default:
+		return fmt.Sprintf("%.0fµs", float64(n)/1e3)
+	}
+}
+
+// truncateRule bounds a rule rendering for the fixed-width table.
+func truncateRule(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	return s[:n-1] + "…"
 }
 
 // parseAtom parses a ground atom like "s(a, c)" into a predicate name and

@@ -1,0 +1,30 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/http/pprof"
+)
+
+// startPprof serves net/http/pprof on its own listener and mux — never
+// the API mux, and never the DefaultServeMux the pprof import would
+// otherwise register on — so profiling stays opt-in and isolated from
+// the query surface. The returned closer stops the listener.
+func startPprof(addr string, stderr io.Writer) (io.Closer, error) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	srv := &http.Server{Handler: mux}
+	go func() { _ = srv.Serve(ln) }()
+	fmt.Fprintf(stderr, "mdl: pprof listening on http://%s/debug/pprof/\n", ln.Addr())
+	return ln, nil
+}

@@ -26,6 +26,9 @@
 //	-checkpoint f  warm-start from f when it exists; flush a final
 //	               snapshot to f on graceful shutdown (single program only)
 //	-resume f      warm-start from f, which must exist (single program only)
+//	-log-format f  structured request-log format: text (default) or json
+//	-slow-request d  log requests slower than d at warn level (0 = off)
+//	-pprof-addr a  serve net/http/pprof on its own listener at address a
 //
 // SIGINT/SIGTERM shut the server down gracefully: in-flight requests
 // drain, and with -checkpoint set a final snapshot is flushed so the
@@ -40,6 +43,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"log/slog"
 	"net"
 	"net/http"
 	"os"
@@ -68,6 +72,9 @@ func runServe(ctx context.Context, args []string, stdout, stderr io.Writer) int 
 	trace := fs.Bool("trace", true, "record provenance for /v1/explain")
 	ckptPath := fs.String("checkpoint", "", "warm-start from this snapshot when present; flush to it on shutdown")
 	resumePath := fs.String("resume", "", "warm-start from this snapshot (must exist)")
+	logFormat := fs.String("log-format", "text", "structured request-log format: text or json")
+	slowReq := fs.Duration("slow-request", 0, "log requests slower than this threshold at warn level (0 = off)")
+	pprofAddr := fs.String("pprof-addr", "", "serve net/http/pprof on this address (separate listener)")
 	if err := fs.Parse(args); err != nil {
 		return exitUsage
 	}
@@ -95,6 +102,12 @@ func runServe(ctx context.Context, args []string, stdout, stderr io.Writer) int 
 	if *name != "" && !*join {
 		return usage("-name only applies with -join")
 	}
+	if *logFormat != "text" && *logFormat != "json" {
+		return usage("-log-format must be text or json")
+	}
+	if *slowReq < 0 {
+		return usage("-slow-request must be ≥ 0")
+	}
 
 	opts := datalog.Options{
 		Epsilon:     *eps,
@@ -115,8 +128,29 @@ func runServe(ctx context.Context, args []string, stdout, stderr io.Writer) int 
 		specs[0].Resume = *resumePath
 	}
 
-	logf := func(format string, a ...any) { fmt.Fprintf(stderr, "mdl serve: "+format+"\n", a...) }
-	s, err := server.New(specs, server.Config{RequestTimeout: *timeout, Logf: logf})
+	// Logging: json replaces the plain Logf lines with structured slog
+	// records (one per request plus notable events); text keeps the
+	// human lines and adds slog request records alongside them.
+	cfg := server.Config{RequestTimeout: *timeout, SlowRequest: *slowReq}
+	var logf func(format string, a ...any)
+	if *logFormat == "json" {
+		logger := slog.New(slog.NewJSONHandler(stderr, nil))
+		cfg.Logger = logger
+		logf = func(format string, a ...any) { logger.Info(fmt.Sprintf(format, a...)) }
+	} else {
+		cfg.Logger = slog.New(slog.NewTextHandler(stderr, nil))
+		logf = func(format string, a ...any) { fmt.Fprintf(stderr, "mdl serve: "+format+"\n", a...) }
+		cfg.Logf = logf
+	}
+	if *pprofAddr != "" {
+		closer, perr := startPprof(*pprofAddr, stderr)
+		if perr != nil {
+			fmt.Fprintln(stderr, "mdl serve:", perr)
+			return exitUsage
+		}
+		defer closer.Close()
+	}
+	s, err := server.New(specs, cfg)
 	if err != nil {
 		fmt.Fprintln(stderr, "mdl serve:", err)
 		if errors.Is(err, datalog.ErrParse) {

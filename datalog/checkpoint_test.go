@@ -25,6 +25,13 @@ func exampleOptions(name string) datalog.Options {
 	return datalog.Options{}
 }
 
+// sameTotals compares the scalar totals of two Stats (the breakdown
+// slices make Stats incomparable with ==).
+func sameTotals(a, b datalog.Stats) bool {
+	return a.Components == b.Components && a.Rounds == b.Rounds &&
+		a.Firings == b.Firings && a.Derived == b.Derived && a.Probes == b.Probes
+}
+
 func loadExample(t *testing.T, name string) (*datalog.Program, string) {
 	t.Helper()
 	src, err := os.ReadFile(filepath.Join(exampleDir, name))
@@ -54,8 +61,13 @@ func TestSnapshotRestoreRoundTrip(t *testing.T) {
 	if got.String() != m.String() {
 		t.Fatalf("restored model differs:\n%s\nwant:\n%s", got, m)
 	}
-	if got.Stats() != stats {
-		t.Fatalf("restored stats %+v, want %+v", got.Stats(), stats)
+	// A snapshot records the four core scalar totals only, so the
+	// restored stats carry no probes and no per-rule/per-component
+	// breakdowns.
+	rs := got.Stats()
+	if rs.Components != stats.Components || rs.Rounds != stats.Rounds ||
+		rs.Firings != stats.Firings || rs.Derived != stats.Derived {
+		t.Fatalf("restored stats %+v, want totals of %+v", rs, stats)
 	}
 	if string(got.Snapshot()) != string(data) {
 		t.Fatal("re-encoding a restored model must be byte-identical")
@@ -256,7 +268,7 @@ func TestSolveMoreAccumulatesStats(t *testing.T) {
 	if stats2.Rounds <= stats.Rounds || stats2.Derived <= stats.Derived {
 		t.Fatalf("SolveMore stats %+v must extend %+v", stats2, stats)
 	}
-	if m2.Stats() != stats2 {
+	if !sameTotals(m2.Stats(), stats2) {
 		t.Fatalf("model stats %+v != returned stats %+v", m2.Stats(), stats2)
 	}
 }

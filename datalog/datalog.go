@@ -117,6 +117,11 @@ type Options struct {
 	// consecutive times with nothing else changing (0 = default 1000,
 	// negative disables).
 	DivergenceStreak int
+	// Sink, when non-nil, receives the engine's typed event stream —
+	// solve/component/round boundaries, rule passes, checkpoint
+	// flushes and resource warnings. Events are emitted synchronously
+	// from the evaluation loop; nil keeps the engine at full speed.
+	Sink EventSink
 }
 
 // Stats reports evaluation work.
@@ -151,6 +156,7 @@ func Load(src string, opts Options) (*Program, error) {
 		SkipChecks:  opts.SkipChecks,
 		WFSFallback: opts.WFSFallback,
 		Trace:       opts.Trace,
+		Sink:        opts.Sink,
 		Limits:      lim,
 	})
 	if err != nil {

@@ -6,12 +6,15 @@ import (
 	"math"
 	"runtime/debug"
 	"sort"
+	"strings"
+	"time"
 
 	"repro/internal/ast"
 	"repro/internal/consistency"
 	"repro/internal/deps"
 	"repro/internal/lattice"
 	"repro/internal/monotone"
+	"repro/internal/obs"
 	"repro/internal/relation"
 	"repro/internal/safety"
 	"repro/internal/val"
@@ -59,18 +62,14 @@ type Options struct {
 	// Trace records, for every derived tuple, the rule and ground body
 	// of its last improvement, queryable through Explain/ExplainTree.
 	Trace bool
+	// Sink, when non-nil, receives the typed event stream of every
+	// solve (see package obs). The engine emits behind a nil check, so
+	// leaving it nil keeps the evaluation path at full speed.
+	Sink obs.Sink
 	// Limits bounds every Solve: derivation budget, wall-clock
 	// deadline, cancellation-poll granularity and the ω-limit
 	// divergence threshold. SolveLimits can override them per call.
 	Limits
-}
-
-// Stats reports work done by Solve.
-type Stats struct {
-	Components int
-	Rounds     int
-	Firings    int64
-	Derived    int64
 }
 
 // Engine evaluates a program bottom-up, one component at a time (§6.3).
@@ -86,6 +85,14 @@ type Engine struct {
 	// marks components evaluated by the well-founded fallback (§6.3).
 	compAdm []error
 	wfsComp []bool
+	// compPreds renders each component's predicate list once at compile
+	// time, so events and stats never format in the fixpoint loops.
+	compPreds []string
+	// nrules is the number of compiled plans across all components;
+	// plans carry engine-global indices into Stats.Rules.
+	nrules int
+	// sink is Options.Sink (nil = no event emission).
+	sink obs.Sink
 	// trace holds the provenance of the most recent traced Solve.
 	trace map[string]*Derivation
 }
@@ -104,7 +111,7 @@ func New(prog *ast.Program, opts Options) (*Engine, error) {
 	if err := ast.ValidateProgram(prog, schemas); err != nil {
 		return nil, err
 	}
-	en := &Engine{Prog: prog, Schemas: schemas, opts: opts}
+	en := &Engine{Prog: prog, Schemas: schemas, opts: opts, sink: opts.Sink}
 	if !opts.SkipChecks {
 		if err := safety.CheckProgram(prog, schemas); err != nil {
 			return nil, err
@@ -117,6 +124,11 @@ func New(prog *ast.Program, opts Options) (*Engine, error) {
 	g := deps.Build(prog)
 	en.comps = g.SCCs()
 	for _, c := range en.comps {
+		parts := make([]string, len(c.Preds))
+		for i, k := range c.Preds {
+			parts[i] = string(k)
+		}
+		en.compPreds = append(en.compPreds, strings.Join(parts, ","))
 		cdb, _ := deps.Split(prog, c)
 		rules := deps.RulesOfComponent(prog, c)
 		cx := &monotone.Context{Schemas: schemas, CDB: cdb}
@@ -144,6 +156,12 @@ func New(prog *ast.Program, opts Options) (*Engine, error) {
 			if err != nil {
 				return nil, err
 			}
+			// Engine-global rule index and cached text: the hot loops
+			// attribute per-rule stats and emit events without ever
+			// formatting the rule.
+			p.idx = en.nrules
+			p.text = r.String()
+			en.nrules++
 			ps = append(ps, p)
 		}
 		en.plans = append(en.plans, ps)
@@ -201,15 +219,30 @@ func (en *Engine) Resume(ctx context.Context, prev *relation.DB, lim Limits, bas
 
 // fixpoint runs the iterated fixpoint of §6.3 over db in place,
 // starting the stats from base.
-func (en *Engine) fixpoint(ctx context.Context, db *relation.DB, lim Limits, base Stats) (*relation.DB, Stats, error) {
+func (en *Engine) fixpoint(ctx context.Context, db *relation.DB, lim Limits, base Stats) (_ *relation.DB, _ Stats, err error) {
 	if lim.MaxDuration > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, lim.MaxDuration)
 		defer cancel()
 	}
 	en.trace = nil
-	stats := base
+	stats := base.Clone()
+	en.ensureStats(&stats)
 	g := newGuard(ctx, lim, &stats)
+	g.sink = en.sink
+	if en.sink != nil {
+		start := time.Now()
+		en.sink.Event(obs.Event{Kind: obs.SolveBegin, Component: -1})
+		defer func() {
+			e := obs.Event{Kind: obs.SolveEnd, Component: -1, Round: stats.Rounds,
+				Firings: stats.Firings, Derived: stats.Derived, Probes: stats.Probes,
+				Nanos: time.Since(start).Nanoseconds()}
+			if err != nil {
+				e.Err = err.Error()
+			}
+			en.sink.Event(e)
+		}()
+	}
 	// Checkpoint the starting interpretation before any evaluation, so
 	// the sink holds a recoverable state even if the very first round
 	// is interrupted.
@@ -217,28 +250,15 @@ func (en *Engine) fixpoint(ctx context.Context, db *relation.DB, lim Limits, bas
 		return db, stats, err
 	}
 	for ci, c := range en.comps {
-		g.comp, g.rule = c.Preds, nil
-		var err error
-		if en.wfsComp[ci] {
-			stats.Components++
-			err = en.runComponent(g, func() error {
-				return en.solveWFSComponent(g, db, ci, &stats)
-			})
-		} else {
-			ps := en.plans[ci]
-			if len(ps) == 0 {
-				continue // EDB-only component
-			}
-			stats.Components++
-			err = en.runComponent(g, func() error {
-				if en.opts.Strategy == Naive {
-					return en.solveNaive(g, db, c, ps, &stats)
-				}
-				return en.solveSemiNaive(g, db, c, ps, &stats)
-			})
+		ps := en.plans[ci]
+		if !en.wfsComp[ci] && len(ps) == 0 {
+			continue // EDB-only component
 		}
-		if err != nil {
-			return db, stats, err
+		g.comp, g.rule = c.Preds, nil
+		stats.Components++
+		cerr := en.runInstrumented(g, db, ci, c, ps, &stats)
+		if cerr != nil {
+			return db, stats, cerr
 		}
 		// A component fixpoint is the strongest consistency boundary:
 		// always durable when checkpointing is on.
@@ -247,6 +267,44 @@ func (en *Engine) fixpoint(ctx context.Context, db *relation.DB, lim Limits, bas
 		}
 	}
 	return db, stats, nil
+}
+
+// runInstrumented evaluates one component inside the panic-recovery
+// boundary, attributing its work to the per-component breakdown and
+// emitting the ComponentBegin/ComponentEnd events.
+func (en *Engine) runInstrumented(g *guard, db *relation.DB, ci int, c *deps.Component, ps []*plan, stats *Stats) error {
+	cs := &stats.Comps[ci]
+	if en.sink != nil {
+		en.sink.Event(obs.Event{Kind: obs.ComponentBegin, Component: ci,
+			Preds: cs.Preds, WFS: cs.WFS, Admissible: cs.Admissible})
+	}
+	r0, f0, d0, p0 := stats.Rounds, stats.Firings, stats.Derived, stats.Probes
+	t0 := time.Now()
+	err := en.runComponent(g, func() error {
+		if en.wfsComp[ci] {
+			return en.solveWFSComponent(g, db, ci, stats)
+		}
+		if en.opts.Strategy == Naive {
+			return en.solveNaive(g, db, ci, c, ps, stats)
+		}
+		return en.solveSemiNaive(g, db, ci, c, ps, stats)
+	})
+	cs.Rounds += stats.Rounds - r0
+	cs.Firings += stats.Firings - f0
+	cs.Derived += stats.Derived - d0
+	cs.Probes += stats.Probes - p0
+	cs.Nanos += time.Since(t0).Nanoseconds()
+	if en.sink != nil {
+		e := obs.Event{Kind: obs.ComponentEnd, Component: ci,
+			Preds: cs.Preds, WFS: cs.WFS, Admissible: cs.Admissible,
+			Round: cs.Rounds, Firings: cs.Firings, Derived: cs.Derived,
+			Probes: cs.Probes, Nanos: cs.Nanos}
+		if err != nil {
+			e.Err = err.Error()
+		}
+		en.sink.Event(e)
+	}
+	return err
 }
 
 // runComponent wraps one component's evaluation in a recover boundary:
@@ -291,7 +349,7 @@ func headTuple(p *plan, e *env) (args []val.T, cost lattice.Elem, err error) {
 
 // solveNaive iterates J ← T_P(J, I) until lattice equality (within
 // Epsilon) over the component's predicates.
-func (en *Engine) solveNaive(g *guard, db *relation.DB, c *deps.Component, ps []*plan, stats *Stats) error {
+func (en *Engine) solveNaive(g *guard, db *relation.DB, ci int, c *deps.Component, ps []*plan, stats *Stats) error {
 	// EDB rows supplied for component predicates behave as part of I and
 	// must survive the per-round relation replacement.
 	seed := map[ast.PredKey]*relation.Relation{}
@@ -308,11 +366,14 @@ func (en *Engine) solveNaive(g *guard, db *relation.DB, c *deps.Component, ps []
 			return err
 		}
 		stats.Rounds++
+		roundDerived := stats.Derived
 		out := relation.NewDB(db.Schemas)
 		ev := &evaluator{db: db, trace: en.opts.Trace, check: g.check}
 		for _, p := range ps {
 			p := p
 			g.rule = p.rule
+			rf0, rd0, rp0 := ev.firings, stats.Derived, ev.probes
+			rt0 := time.Now()
 			err := ev.run(p, func(e *env) error {
 				args, cost, err := headTuple(p, e)
 				if err != nil {
@@ -339,11 +400,18 @@ func (en *Engine) solveNaive(g *guard, db *relation.DB, c *deps.Component, ps []
 				}
 				return nil
 			})
+			en.noteRule(&stats.Rules[p.idx], ci, round,
+				ev.firings-rf0, stats.Derived-rd0, ev.probes-rp0, time.Since(rt0).Nanoseconds())
 			if err != nil {
 				return err
 			}
 		}
 		stats.Firings += ev.firings
+		stats.Probes += ev.probes
+		if en.sink != nil {
+			en.sink.Event(obs.Event{Kind: obs.RoundEnd, Component: ci, Round: round,
+				Firings: ev.firings, Derived: stats.Derived - roundDerived, Probes: ev.probes})
+		}
 		for k, r := range seed {
 			out.Rel(k).Join(r)
 		}
@@ -409,8 +477,8 @@ func (d *deltaSet) preds() []ast.PredKey {
 // whose CDB inputs changed: rules with positive CDB scans run once per
 // changed-scan seed; rules referencing CDB predicates inside aggregates
 // re-run (group-restricted where possible) when such a predicate changed.
-func (en *Engine) solveSemiNaive(g *guard, db *relation.DB, c *deps.Component, ps []*plan, stats *Stats) error {
-	return en.semiNaiveLoop(g, db, c, ps, stats, nil, nil)
+func (en *Engine) solveSemiNaive(g *guard, db *relation.DB, ci int, c *deps.Component, ps []*plan, stats *Stats) error {
+	return en.semiNaiveLoop(g, db, ci, ps, stats, nil, nil)
 }
 
 // semiNaiveLoop runs the Δ-driven fixpoint. When init is nil, round 0
@@ -418,7 +486,7 @@ func (en *Engine) solveSemiNaive(g *guard, db *relation.DB, c *deps.Component, p
 // (the incremental SolveMore case, where init holds newly added EDB rows
 // and derivations recorded by lower components). record, when non-nil,
 // mirrors every derived change outward (for cross-component seeding).
-func (en *Engine) semiNaiveLoop(g *guard, db *relation.DB, c *deps.Component, ps []*plan, stats *Stats, init *deltaSet, record func(ast.PredKey, relation.Row)) error {
+func (en *Engine) semiNaiveLoop(g *guard, db *relation.DB, ci int, ps []*plan, stats *Stats, init *deltaSet, record func(ast.PredKey, relation.Row)) error {
 	delta := newDeltaSet()
 	insert := func(p *plan, e *env) error {
 		args, cost, err := headTuple(p, e)
@@ -449,15 +517,26 @@ func (en *Engine) semiNaiveLoop(g *guard, db *relation.DB, c *deps.Component, ps
 			return err
 		}
 		stats.Rounds++
+		rd0 := stats.Derived
 		ev := &evaluator{db: db, trace: en.opts.Trace, check: g.check}
 		for _, p := range ps {
 			p := p
 			g.rule = p.rule
-			if err := ev.run(p, func(e *env) error { return insert(p, e) }); err != nil {
+			f0, d0, p0 := ev.firings, stats.Derived, ev.probes
+			t0 := time.Now()
+			err := ev.run(p, func(e *env) error { return insert(p, e) })
+			en.noteRule(&stats.Rules[p.idx], ci, 0,
+				ev.firings-f0, stats.Derived-d0, ev.probes-p0, time.Since(t0).Nanoseconds())
+			if err != nil {
 				return err
 			}
 		}
 		stats.Firings += ev.firings
+		stats.Probes += ev.probes
+		if en.sink != nil {
+			en.sink.Event(obs.Event{Kind: obs.RoundEnd, Component: ci, Round: 0,
+				Firings: ev.firings, Derived: stats.Derived - rd0, Probes: ev.probes})
+		}
 		if err := g.roundBoundary(db); err != nil {
 			return err
 		}
@@ -473,43 +552,74 @@ func (en *Engine) semiNaiveLoop(g *guard, db *relation.DB, c *deps.Component, ps
 			return err
 		}
 		stats.Rounds++
+		roundF, roundD, roundP := stats.Firings, stats.Derived, stats.Probes
 		prev := delta
 		delta = newDeltaSet()
+		changedPreds := prev.preds()
 		for _, p := range ps {
 			p := p
 			g.rule = p.rule
-			// Aggregate-driven re-run when an aggregated predicate
-			// changed: restricted to the changed groups when every
-			// grouping variable can be recovered from the changed rows,
-			// otherwise a full re-run (which then also covers the scan
-			// deltas below).
-			if aggPredChanged(p, prev) {
+			// Decide up front which passes this rule needs so a rule
+			// untouched by the Δ set costs nothing (not even a clock
+			// read).
+			runAgg := aggPredChanged(p, prev)
+			hasScan := false
+			for _, k := range changedPreds {
+				if len(p.scanSteps[k]) > 0 {
+					hasScan = true
+					break
+				}
+			}
+			if !runAgg && !hasScan {
+				continue
+			}
+			f0, d0, p0 := stats.Firings, stats.Derived, stats.Probes
+			t0 := time.Now()
+			var perr error
+			ranFull := false
+			if runAgg {
+				// Aggregate-driven re-run when an aggregated predicate
+				// changed: restricted to the changed groups when every
+				// grouping variable can be recovered from the changed
+				// rows, otherwise a full re-run (which then also covers
+				// the scan deltas below).
 				groups, restricted := changedGroups(p, prev)
 				if en.opts.DisableGroupDelta {
 					groups, restricted = nil, false
 				}
 				ev := &evaluator{db: db, aggGroups: groups, trace: en.opts.Trace, check: g.check}
-				if err := ev.run(p, func(e *env) error { return insert(p, e) }); err != nil {
-					return err
-				}
+				perr = ev.run(p, func(e *env) error { return insert(p, e) })
 				stats.Firings += ev.firings
-				if !restricted {
-					continue
-				}
+				stats.Probes += ev.probes
+				ranFull = !restricted
 			}
-			// Scan-driven delta runs: one pass per changed scanned
-			// predicate (CDB during a fresh solve; possibly EDB when
-			// seeded incrementally).
-			for _, k := range prev.preds() {
-				rows := prev.rows[k]
-				for _, si := range p.scanSteps[k] {
-					ev := &evaluator{db: db, restrictStep: si, restrictRows: rows, trace: en.opts.Trace, check: g.check}
-					if err := ev.run(p, func(e *env) error { return insert(p, e) }); err != nil {
-						return err
+			if perr == nil && !ranFull && hasScan {
+				// Scan-driven delta runs: one pass per changed scanned
+				// predicate (CDB during a fresh solve; possibly EDB when
+				// seeded incrementally).
+			scans:
+				for _, k := range changedPreds {
+					rows := prev.rows[k]
+					for _, si := range p.scanSteps[k] {
+						ev := &evaluator{db: db, restrictStep: si, restrictRows: rows, trace: en.opts.Trace, check: g.check}
+						perr = ev.run(p, func(e *env) error { return insert(p, e) })
+						stats.Firings += ev.firings
+						stats.Probes += ev.probes
+						if perr != nil {
+							break scans
+						}
 					}
-					stats.Firings += ev.firings
 				}
 			}
+			en.noteRule(&stats.Rules[p.idx], ci, round,
+				stats.Firings-f0, stats.Derived-d0, stats.Probes-p0, time.Since(t0).Nanoseconds())
+			if perr != nil {
+				return perr
+			}
+		}
+		if en.sink != nil {
+			en.sink.Event(obs.Event{Kind: obs.RoundEnd, Component: ci, Round: round,
+				Firings: stats.Firings - roundF, Derived: stats.Derived - roundD, Probes: stats.Probes - roundP})
 		}
 		if err := g.roundBoundary(db); err != nil {
 			return err

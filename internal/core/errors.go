@@ -11,6 +11,7 @@ import (
 	"repro/internal/enginerr"
 	"repro/internal/faults"
 	"repro/internal/lattice"
+	"repro/internal/obs"
 	"repro/internal/relation"
 	"repro/internal/val"
 )
@@ -209,6 +210,8 @@ type guard struct {
 	ckpt      CheckpointFunc
 	ckptEvery int
 	sinceCkpt int
+	// sink receives checkpoint/divergence/budget events (nil = none).
+	sink obs.Sink
 }
 
 func newGuard(ctx context.Context, lim Limits, stats *Stats) *guard {
@@ -254,8 +257,14 @@ func (g *guard) checkpoint(db *relation.DB, force bool) error {
 		}
 	}
 	g.sinceCkpt = 0
-	if err := g.ckpt(db, *g.stats); err != nil {
+	// Clone: the callback may retain the stats value, and the engine
+	// keeps accumulating into the breakdown slices after it returns.
+	if err := g.ckpt(db, g.stats.Clone()); err != nil {
 		return g.fail(ErrCheckpoint, err)
+	}
+	if g.sink != nil {
+		g.sink.Event(obs.Event{Kind: obs.CheckpointFlushed, Component: -1,
+			Round: g.stats.Rounds, Derived: g.stats.Derived})
 	}
 	return nil
 }
@@ -310,12 +319,20 @@ func (g *guard) derived(pred ast.PredKey, args []val.T, cost lattice.Elem, hasCo
 	if g.maxFacts > 0 && g.stats.Derived-g.baseDerived > g.maxFacts {
 		e := g.fail(ErrBudgetExceeded, nil)
 		e.Limit = g.maxFacts
+		if g.sink != nil {
+			g.sink.Event(obs.Event{Kind: obs.BudgetBreach, Component: -1,
+				Round: g.stats.Rounds, Derived: g.stats.Derived, Err: e.Error()})
+		}
 		return e
 	}
 	if improved {
 		if d := g.det.observe(pred, args, cost, hasCost); d != nil {
 			e := g.fail(ErrDiverged, nil)
 			e.Divergence = d
+			if g.sink != nil {
+				g.sink.Event(obs.Event{Kind: obs.DivergenceWarning, Component: -1,
+					Round: g.stats.Rounds, Derived: g.stats.Derived, Err: e.Error()})
+			}
 			return e
 		}
 	}
@@ -326,6 +343,10 @@ func (g *guard) derived(pred ast.PredKey, args []val.T, cost lattice.Elem, hasCo
 func (g *guard) maxRounds(limit int) *EngineError {
 	e := g.fail(ErrDiverged, nil)
 	e.Limit = int64(limit)
+	if g.sink != nil {
+		g.sink.Event(obs.Event{Kind: obs.DivergenceWarning, Component: -1,
+			Round: g.stats.Rounds, Derived: g.stats.Derived, Err: e.Error()})
+	}
 	return e
 }
 

@@ -49,8 +49,10 @@ type evaluator struct {
 	// rate-limits the actual cancellation test), so one long round
 	// cannot outrun a deadline or a Ctrl-C.
 	check func() error
-	// stats counters.
+	// stats counters: completed body enumerations, and join probes
+	// (rows offered by scans and point lookups before binding filters).
 	firings int64
+	probes  int64
 }
 
 // run enumerates every satisfying assignment of the plan body and calls
@@ -89,6 +91,7 @@ func (ev *evaluator) step(p *plan, i int, e *env, emit func(*env) error) error {
 				if cur, ok := rel.Get(row.Args); ok {
 					row = cur
 				}
+				ev.probes++
 				if err := next(row); err != nil {
 					return err
 				}
@@ -140,6 +143,7 @@ func (ev *evaluator) scan(sp *atomSpec, e *env, f func(relation.Row) error) erro
 		if !ok {
 			return nil
 		}
+		ev.probes++
 		return f(row)
 	}
 	pattern := sp.pat
@@ -155,6 +159,7 @@ func (ev *evaluator) scan(sp *atomSpec, e *env, f func(relation.Row) error) erro
 	}
 	var ferr error
 	rel.Match(pattern, func(row relation.Row) bool {
+		ev.probes++
 		if err := f(row); err != nil {
 			ferr = err
 			return false

@@ -3,9 +3,11 @@ package core
 import (
 	"context"
 	"fmt"
+	"time"
 
 	"repro/internal/ast"
 	"repro/internal/lattice"
+	"repro/internal/obs"
 	"repro/internal/relation"
 )
 
@@ -39,8 +41,9 @@ func (en *Engine) SolveMoreContext(ctx context.Context, prev *relation.DB, added
 // checkpoints, whose metadata records cumulative work) pass the stats
 // of the model being extended, so rounds/firings/derivations report
 // running totals rather than per-resume counts.
-func (en *Engine) SolveMoreFrom(ctx context.Context, prev *relation.DB, added *relation.DB, base Stats) (*relation.DB, Stats, error) {
-	stats := base
+func (en *Engine) SolveMoreFrom(ctx context.Context, prev *relation.DB, added *relation.DB, base Stats) (_ *relation.DB, _ Stats, err error) {
+	stats := base.Clone()
+	en.ensureStats(&stats)
 	lim := en.opts.Limits
 	if lim.MaxDuration > 0 {
 		var cancel context.CancelFunc
@@ -48,6 +51,20 @@ func (en *Engine) SolveMoreFrom(ctx context.Context, prev *relation.DB, added *r
 		defer cancel()
 	}
 	g := newGuard(ctx, lim, &stats)
+	g.sink = en.sink
+	if en.sink != nil {
+		start := time.Now()
+		en.sink.Event(obs.Event{Kind: obs.SolveBegin, Component: -1})
+		defer func() {
+			e := obs.Event{Kind: obs.SolveEnd, Component: -1, Round: stats.Rounds,
+				Firings: stats.Firings, Derived: stats.Derived, Probes: stats.Probes,
+				Nanos: time.Since(start).Nanoseconds()}
+			if err != nil {
+				e.Err = err.Error()
+			}
+			en.sink.Event(e)
+		}()
+	}
 	for _, w := range en.wfsComp {
 		if w {
 			return nil, stats, fmt.Errorf("core: SolveMore is unsound with well-founded fallback components (negation is not insert-monotone)")
@@ -116,13 +133,35 @@ func (en *Engine) SolveMoreFrom(ctx context.Context, prev *relation.DB, added *r
 		}
 		stats.Components++
 		g.comp, g.rule = c.Preds, nil
-		err := en.runComponent(g, func() error {
-			return en.semiNaiveLoop(g, db, c, ps, &stats, seed, func(k ast.PredKey, row relation.Row) {
+		cs := &stats.Comps[ci]
+		if en.sink != nil {
+			en.sink.Event(obs.Event{Kind: obs.ComponentBegin, Component: ci,
+				Preds: cs.Preds, WFS: cs.WFS, Admissible: cs.Admissible})
+		}
+		r0, f0, d0, p0 := stats.Rounds, stats.Firings, stats.Derived, stats.Probes
+		t0 := time.Now()
+		cerr := en.runComponent(g, func() error {
+			return en.semiNaiveLoop(g, db, ci, ps, &stats, seed, func(k ast.PredKey, row relation.Row) {
 				changed.add(k, row)
 			})
 		})
-		if err != nil {
-			return db, stats, err
+		cs.Rounds += stats.Rounds - r0
+		cs.Firings += stats.Firings - f0
+		cs.Derived += stats.Derived - d0
+		cs.Probes += stats.Probes - p0
+		cs.Nanos += time.Since(t0).Nanoseconds()
+		if en.sink != nil {
+			e := obs.Event{Kind: obs.ComponentEnd, Component: ci,
+				Preds: cs.Preds, WFS: cs.WFS, Admissible: cs.Admissible,
+				Round: cs.Rounds, Firings: cs.Firings, Derived: cs.Derived,
+				Probes: cs.Probes, Nanos: cs.Nanos}
+			if cerr != nil {
+				e.Err = cerr.Error()
+			}
+			en.sink.Event(e)
+		}
+		if cerr != nil {
+			return db, stats, cerr
 		}
 		if err := g.checkpoint(db, true); err != nil {
 			return db, stats, err

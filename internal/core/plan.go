@@ -21,7 +21,12 @@ import (
 
 // plan is the compiled form of one rule.
 type plan struct {
-	rule  *ast.Rule
+	rule *ast.Rule
+	// idx is the engine-global rule index (into Stats.Rules); text is
+	// the rule rendered once at compile time, so stats attribution and
+	// event emission never format in the fixpoint loops.
+	idx   int
+	text  string
 	nvars int
 	names []ast.Var // index -> variable name (for errors)
 	steps []step

@@ -1,0 +1,352 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Registry holds metric families and renders them in the Prometheus
+// text exposition format. Registration takes a lock; updating a metric
+// is lock-free (atomics), and rendering takes per-family snapshots, so
+// a scrape never blocks the serving hot path.
+type Registry struct {
+	mu       sync.Mutex
+	families map[string]*family
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: map[string]*family{}}
+}
+
+type metricType uint8
+
+const (
+	typeCounter metricType = iota
+	typeGauge
+	typeHistogram
+)
+
+func (t metricType) String() string {
+	switch t {
+	case typeCounter:
+		return "counter"
+	case typeGauge:
+		return "gauge"
+	default:
+		return "histogram"
+	}
+}
+
+// family is one named metric with a fixed label schema and a dynamic
+// set of label-value series.
+type family struct {
+	name    string
+	help    string
+	typ     metricType
+	labels  []string
+	buckets []float64 // histogram upper bounds (ascending), nil otherwise
+
+	mu     sync.RWMutex
+	series map[string]*series
+}
+
+// series is one (label values -> metric) entry.
+type series struct {
+	labelVals []string
+	// value holds counter counts (integral) and gauge float bits.
+	count atomic.Int64
+	bits  atomic.Uint64
+	// histogram state: per-bucket cumulative-le counts plus +Inf,
+	// observation count in count, and the running sum in bits.
+	bucketCounts []atomic.Int64
+}
+
+const labelSep = "\xff"
+
+func (f *family) with(values ...string) *series {
+	if len(values) != len(f.labels) {
+		panic(fmt.Sprintf("obs: metric %s takes %d label values, got %d", f.name, len(f.labels), len(values)))
+	}
+	key := strings.Join(values, labelSep)
+	f.mu.RLock()
+	s := f.series[key]
+	f.mu.RUnlock()
+	if s != nil {
+		return s
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if s = f.series[key]; s != nil {
+		return s
+	}
+	s = &series{labelVals: append([]string(nil), values...)}
+	if f.typ == typeHistogram {
+		s.bucketCounts = make([]atomic.Int64, len(f.buckets)+1)
+	}
+	f.series[key] = s
+	return s
+}
+
+func (r *Registry) register(name, help string, typ metricType, labels []string, buckets []float64) *family {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if f, ok := r.families[name]; ok {
+		if f.typ != typ || len(f.labels) != len(labels) {
+			panic(fmt.Sprintf("obs: metric %s re-registered with a different schema", name))
+		}
+		return f
+	}
+	f := &family{name: name, help: help, typ: typ,
+		labels: append([]string(nil), labels...), buckets: buckets,
+		series: map[string]*series{}}
+	r.families[name] = f
+	return f
+}
+
+// Counter is a monotonically increasing count.
+type Counter struct{ s *series }
+
+// Add increments the counter by n (n must be ≥ 0).
+func (c Counter) Add(n int64) { c.s.count.Add(n) }
+
+// Inc increments the counter by one.
+func (c Counter) Inc() { c.s.count.Add(1) }
+
+// Value returns the current count.
+func (c Counter) Value() int64 { return c.s.count.Load() }
+
+// CounterVec is a counter family with labels.
+type CounterVec struct{ f *family }
+
+// NewCounterVec registers (or fetches) a labeled counter family.
+func (r *Registry) NewCounterVec(name, help string, labels ...string) *CounterVec {
+	return &CounterVec{r.register(name, help, typeCounter, labels, nil)}
+}
+
+// With returns the counter for one label-value combination.
+func (v *CounterVec) With(values ...string) Counter { return Counter{v.f.with(values...)} }
+
+// Gauge is a value that can go up and down.
+type Gauge struct{ s *series }
+
+// Set replaces the gauge value.
+func (g Gauge) Set(v float64) { g.s.bits.Store(math.Float64bits(v)) }
+
+// Add adds d to the gauge value.
+func (g Gauge) Add(d float64) {
+	for {
+		old := g.s.bits.Load()
+		want := math.Float64bits(math.Float64frombits(old) + d)
+		if g.s.bits.CompareAndSwap(old, want) {
+			return
+		}
+	}
+}
+
+// Value returns the current gauge value.
+func (g Gauge) Value() float64 { return math.Float64frombits(g.s.bits.Load()) }
+
+// GaugeVec is a gauge family with labels.
+type GaugeVec struct{ f *family }
+
+// NewGaugeVec registers (or fetches) a labeled gauge family.
+func (r *Registry) NewGaugeVec(name, help string, labels ...string) *GaugeVec {
+	return &GaugeVec{r.register(name, help, typeGauge, labels, nil)}
+}
+
+// With returns the gauge for one label-value combination.
+func (v *GaugeVec) With(values ...string) Gauge { return Gauge{v.f.with(values...)} }
+
+// Histogram is a fixed-bucket cumulative histogram.
+type Histogram struct {
+	s       *series
+	buckets []float64
+}
+
+// Observe records one observation.
+func (h Histogram) Observe(v float64) {
+	// Buckets are cumulative (le semantics): bump every bucket whose
+	// upper bound admits v, plus the implicit +Inf bucket.
+	for i, ub := range h.buckets {
+		if v <= ub {
+			h.s.bucketCounts[i].Add(1)
+		}
+	}
+	h.s.bucketCounts[len(h.buckets)].Add(1)
+	h.s.count.Add(1)
+	for {
+		old := h.s.bits.Load()
+		want := math.Float64bits(math.Float64frombits(old) + v)
+		if h.s.bits.CompareAndSwap(old, want) {
+			return
+		}
+	}
+}
+
+// HistogramVec is a histogram family with labels.
+type HistogramVec struct{ f *family }
+
+// NewHistogramVec registers (or fetches) a labeled histogram family.
+// Buckets are upper bounds in ascending order; the +Inf bucket is
+// implicit.
+func (r *Registry) NewHistogramVec(name, help string, buckets []float64, labels ...string) *HistogramVec {
+	for i := 1; i < len(buckets); i++ {
+		if buckets[i] <= buckets[i-1] {
+			panic(fmt.Sprintf("obs: histogram %s buckets not ascending", name))
+		}
+	}
+	return &HistogramVec{r.register(name, help, typeHistogram, labels, append([]float64(nil), buckets...))}
+}
+
+// With returns the histogram for one label-value combination.
+func (v *HistogramVec) With(values ...string) Histogram {
+	return Histogram{v.f.with(values...), v.f.buckets}
+}
+
+// WritePrometheus renders every family in the Prometheus text format
+// (version 0.0.4). Output is deterministic: families sort by name,
+// series by label values.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.Lock()
+	fams := make([]*family, 0, len(r.families))
+	for _, f := range r.families {
+		fams = append(fams, f)
+	}
+	r.mu.Unlock()
+	sort.Slice(fams, func(i, j int) bool { return fams[i].name < fams[j].name })
+
+	var b strings.Builder
+	for _, f := range fams {
+		f.render(&b)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func (f *family) render(b *strings.Builder) {
+	f.mu.RLock()
+	keys := make([]string, 0, len(f.series))
+	for k := range f.series {
+		keys = append(keys, k)
+	}
+	sers := make([]*series, 0, len(keys))
+	sort.Strings(keys)
+	for _, k := range keys {
+		sers = append(sers, f.series[k])
+	}
+	f.mu.RUnlock()
+	if len(sers) == 0 {
+		return
+	}
+
+	fmt.Fprintf(b, "# HELP %s %s\n", f.name, f.help)
+	fmt.Fprintf(b, "# TYPE %s %s\n", f.name, f.typ)
+	for _, s := range sers {
+		switch f.typ {
+		case typeCounter:
+			b.WriteString(f.name)
+			writeLabels(b, f.labels, s.labelVals, "", "")
+			b.WriteByte(' ')
+			b.WriteString(strconv.FormatInt(s.count.Load(), 10))
+			b.WriteByte('\n')
+		case typeGauge:
+			b.WriteString(f.name)
+			writeLabels(b, f.labels, s.labelVals, "", "")
+			b.WriteByte(' ')
+			b.WriteString(formatFloat(math.Float64frombits(s.bits.Load())))
+			b.WriteByte('\n')
+		case typeHistogram:
+			for i, ub := range f.buckets {
+				b.WriteString(f.name)
+				b.WriteString("_bucket")
+				writeLabels(b, f.labels, s.labelVals, "le", formatFloat(ub))
+				b.WriteByte(' ')
+				b.WriteString(strconv.FormatInt(s.bucketCounts[i].Load(), 10))
+				b.WriteByte('\n')
+			}
+			b.WriteString(f.name)
+			b.WriteString("_bucket")
+			writeLabels(b, f.labels, s.labelVals, "le", "+Inf")
+			b.WriteByte(' ')
+			b.WriteString(strconv.FormatInt(s.bucketCounts[len(f.buckets)].Load(), 10))
+			b.WriteByte('\n')
+			b.WriteString(f.name)
+			b.WriteString("_sum")
+			writeLabels(b, f.labels, s.labelVals, "", "")
+			b.WriteByte(' ')
+			b.WriteString(formatFloat(math.Float64frombits(s.bits.Load())))
+			b.WriteByte('\n')
+			b.WriteString(f.name)
+			b.WriteString("_count")
+			writeLabels(b, f.labels, s.labelVals, "", "")
+			b.WriteByte(' ')
+			b.WriteString(strconv.FormatInt(s.count.Load(), 10))
+			b.WriteByte('\n')
+		}
+	}
+}
+
+// writeLabels renders {k="v",...}, appending one extra pair (the
+// histogram le label) when extraKey is non-empty.
+func writeLabels(b *strings.Builder, keys, vals []string, extraKey, extraVal string) {
+	if len(keys) == 0 && extraKey == "" {
+		return
+	}
+	b.WriteByte('{')
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(k)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(vals[i]))
+		b.WriteByte('"')
+	}
+	if extraKey != "" {
+		if len(keys) > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(extraKey)
+		b.WriteString(`="`)
+		b.WriteString(extraVal)
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+}
+
+func escapeLabel(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	var b strings.Builder
+	for _, r := range v {
+		switch r {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}
+
+func formatFloat(v float64) string {
+	if math.IsInf(v, 1) {
+		return "+Inf"
+	}
+	if math.IsInf(v, -1) {
+		return "-Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

@@ -2,9 +2,13 @@ package server
 
 import (
 	"context"
+	"crypto/rand"
+	"encoding/hex"
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"sort"
+	"strings"
 	"time"
 
 	"repro/datalog"
@@ -17,23 +21,30 @@ const maxBodyBytes = 8 << 20
 // Handler returns the HTTP API:
 //
 //	GET  /healthz     liveness and uptime
-//	GET  /metrics     request counters/latencies and model sizes (JSON)
+//	GET  /metrics     Prometheus text exposition (JSON via Accept)
 //	GET  /v1/program  classification, declarations and model info
+//	GET  /v1/stats    per-rule and per-component evaluation breakdowns
 //	POST /v1/query    point lookups (has/cost) and wildcard scans (facts)
 //	POST /v1/assert   batch EDB insertion through the single-writer path
 //	POST /v1/explain  derivation trees (requires tracing)
+//
+// Every request — including unknown paths — passes through the
+// instrumentation middleware: latency/error accounting (unknowns are
+// recorded under the "other" endpoint), an X-Request-Id echo, and
+// structured request logs when Config.Logger is set.
 //
 // Call Materialize first; the handler answers 503 for query endpoints
 // until every program has a published model.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("GET /healthz", s.instrument("/healthz", s.handleHealthz))
-	mux.HandleFunc("GET /metrics", s.instrument("/metrics", s.handleMetrics))
-	mux.HandleFunc("GET /v1/program", s.instrument("/v1/program", s.handleProgram))
-	mux.HandleFunc("POST /v1/query", s.instrument("/v1/query", s.handleQuery))
-	mux.HandleFunc("POST /v1/assert", s.instrument("/v1/assert", s.handleAssert))
-	mux.HandleFunc("POST /v1/explain", s.instrument("/v1/explain", s.handleExplain))
-	return mux
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /v1/program", s.handleProgram)
+	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	mux.HandleFunc("POST /v1/query", s.handleQuery)
+	mux.HandleFunc("POST /v1/assert", s.handleAssert)
+	mux.HandleFunc("POST /v1/explain", s.handleExplain)
+	return s.instrument(mux)
 }
 
 // statusWriter captures the response status for metrics.
@@ -47,15 +58,54 @@ func (w *statusWriter) WriteHeader(code int) {
 	w.ResponseWriter.WriteHeader(code)
 }
 
-// instrument wraps a handler with latency/error accounting.
-func (s *Server) instrument(endpoint string, h http.HandlerFunc) http.HandlerFunc {
-	return func(w http.ResponseWriter, r *http.Request) {
+// newRequestID returns a 16-hex-char random request identifier.
+func newRequestID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return "0000000000000000"
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// instrument wraps the whole mux: every request (known endpoint or not)
+// is timed, counted under its normalized endpoint label, tagged with a
+// request id (an inbound X-Request-Id is honored, otherwise one is
+// generated; either way it is echoed on the response), and logged when
+// a structured logger is configured.
+func (s *Server) instrument(h http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
+		reqID := r.Header.Get("X-Request-Id")
+		if reqID == "" {
+			reqID = newRequestID()
+		}
+		w.Header().Set("X-Request-Id", reqID)
 		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
 		r.Body = http.MaxBytesReader(sw, r.Body, maxBodyBytes)
-		h(sw, r)
-		s.metrics.observe(endpoint, sw.status, time.Since(start))
-	}
+		h.ServeHTTP(sw, r)
+		elapsed := time.Since(start)
+		endpoint := s.metrics.endpointLabel(r.URL.Path)
+		s.metrics.observe(endpoint, sw.status, elapsed)
+		if lg := s.cfg.Logger; lg != nil {
+			lg.Info("request",
+				"request_id", reqID,
+				"method", r.Method,
+				"path", r.URL.Path,
+				"endpoint", endpoint,
+				"status", sw.status,
+				"duration_ms", float64(elapsed.Nanoseconds())/1e6,
+				"remote", r.RemoteAddr)
+			if s.cfg.SlowRequest > 0 && elapsed >= s.cfg.SlowRequest {
+				lg.Warn("slow request",
+					"request_id", reqID,
+					"method", r.Method,
+					"path", r.URL.Path,
+					"status", sw.status,
+					"duration_ms", float64(elapsed.Nanoseconds())/1e6,
+					"threshold_ms", float64(s.cfg.SlowRequest.Nanoseconds())/1e6)
+			}
+		}
+	})
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
@@ -76,10 +126,11 @@ type statsJSON struct {
 	Rounds     int   `json:"rounds"`
 	Firings    int64 `json:"firings"`
 	Derived    int64 `json:"derived"`
+	Probes     int64 `json:"probes"`
 }
 
 func toStatsJSON(st datalog.Stats) statsJSON {
-	return statsJSON{Components: st.Components, Rounds: st.Rounds, Firings: st.Firings, Derived: st.Derived}
+	return statsJSON{Components: st.Components, Rounds: st.Rounds, Firings: st.Firings, Derived: st.Derived, Probes: st.Probes}
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
@@ -101,25 +152,108 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+// handleMetrics renders the Prometheus text exposition format by
+// default; clients sending Accept: application/json get the legacy
+// JSON snapshot (endpoint counters plus per-program model info).
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	programs := map[string]any{}
-	for _, name := range s.names {
+	if strings.Contains(r.Header.Get("Accept"), "application/json") {
+		programs := map[string]any{}
+		for _, name := range s.names {
+			st := s.svcs[name].current()
+			if st == nil {
+				programs[name] = map[string]any{"materialized": false}
+				continue
+			}
+			programs[name] = map[string]any{
+				"version": st.version,
+				"size":    st.model.Size(),
+				"stats":   toStatsJSON(st.model.Stats()),
+			}
+		}
+		writeJSON(w, http.StatusOK, map[string]any{
+			"uptime_seconds": time.Since(s.start).Seconds(),
+			"endpoints":      s.metrics.snapshot(),
+			"programs":       programs,
+		})
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	w.WriteHeader(http.StatusOK)
+	_ = s.metrics.reg.WritePrometheus(w)
+}
+
+// ruleStatsJSON is the wire form of one rule's breakdown.
+type ruleStatsJSON struct {
+	Index     int     `json:"index"`
+	Rule      string  `json:"rule"`
+	Component int     `json:"component"`
+	Rounds    int     `json:"rounds"`
+	Firings   int64   `json:"firings"`
+	Derived   int64   `json:"derived"`
+	Probes    int64   `json:"probes"`
+	Seconds   float64 `json:"seconds"`
+}
+
+// componentStatsJSON is the wire form of one component's breakdown.
+type componentStatsJSON struct {
+	Index      int     `json:"index"`
+	Preds      string  `json:"preds"`
+	WFS        bool    `json:"wfs"`
+	Admissible bool    `json:"admissible"`
+	Rounds     int     `json:"rounds"`
+	Firings    int64   `json:"firings"`
+	Derived    int64   `json:"derived"`
+	Probes     int64   `json:"probes"`
+	Seconds    float64 `json:"seconds"`
+}
+
+// handleStats serves the per-rule/per-component evaluation breakdowns
+// of the published models, rules sorted hottest-first by cumulative
+// evaluation time. ?name= restricts to one program.
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	names := s.names
+	if want := r.URL.Query().Get("name"); want != "" {
+		if _, ok := s.svcs[want]; !ok {
+			writeErr(w, errNotFound(fmt.Sprintf("unknown program %q", want)))
+			return
+		}
+		names = []string{want}
+	}
+	out := make([]map[string]any, 0, len(names))
+	for _, name := range names {
 		st := s.svcs[name].current()
 		if st == nil {
-			programs[name] = map[string]any{"materialized": false}
+			out = append(out, map[string]any{"name": name, "materialized": false})
 			continue
 		}
-		programs[name] = map[string]any{
-			"version": st.version,
-			"size":    st.model.Size(),
-			"stats":   toStatsJSON(st.model.Stats()),
+		stats := st.model.Stats()
+		rules := make([]ruleStatsJSON, len(stats.Rules))
+		for i, rs := range stats.Rules {
+			rules[i] = ruleStatsJSON{
+				Index: rs.Index, Rule: rs.Rule, Component: rs.Component,
+				Rounds: rs.Rounds, Firings: rs.Firings, Derived: rs.Derived,
+				Probes: rs.Probes, Seconds: float64(rs.Nanos) / 1e9,
+			}
 		}
+		sort.SliceStable(rules, func(i, j int) bool { return rules[i].Seconds > rules[j].Seconds })
+		comps := make([]componentStatsJSON, len(stats.Comps))
+		for i, cs := range stats.Comps {
+			comps[i] = componentStatsJSON{
+				Index: cs.Index, Preds: cs.Preds, WFS: cs.WFS, Admissible: cs.Admissible,
+				Rounds: cs.Rounds, Firings: cs.Firings, Derived: cs.Derived,
+				Probes: cs.Probes, Seconds: float64(cs.Nanos) / 1e9,
+			}
+		}
+		out = append(out, map[string]any{
+			"name":       name,
+			"version":    st.version,
+			"size":       st.model.Size(),
+			"stats":      toStatsJSON(stats),
+			"rules":      rules,
+			"components": comps,
+		})
 	}
-	writeJSON(w, http.StatusOK, map[string]any{
-		"uptime_seconds": time.Since(s.start).Seconds(),
-		"endpoints":      s.metrics.snapshot(),
-		"programs":       programs,
-	})
+	writeJSON(w, http.StatusOK, map[string]any{"programs": out})
 }
 
 // predDeclJSON is the wire form of one predicate declaration.
@@ -285,21 +419,33 @@ type assertRequest struct {
 
 func (s *Server) handleAssert(w http.ResponseWriter, r *http.Request) {
 	var req assertRequest
+	// Every exit path records its outcome code (satisfying the
+	// mdl_assert_outcomes_total contract: ok or the error kind), under
+	// the resolved program name once lookup has succeeded.
+	outcome := "ok"
+	program := ""
+	defer func() { s.metrics.assertOutcome(program, outcome) }()
+	fail := func(e *apiError) {
+		outcome = e.Code
+		writeErr(w, e)
+	}
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeErr(w, errUsage("bad request body: "+err.Error()))
+		fail(errUsage("bad request body: " + err.Error()))
 		return
 	}
+	program = req.Program
 	svc, err := s.lookup(req.Program)
 	if err != nil {
-		writeErr(w, errNotFound(err.Error()))
+		fail(errNotFound(err.Error()))
 		return
 	}
+	program = svc.name
 	if svc.current() == nil {
-		writeErr(w, &apiError{Code: "materializing", Message: "model not materialized yet", ExitCode: 4, status: http.StatusServiceUnavailable})
+		fail(&apiError{Code: "materializing", Message: "model not materialized yet", ExitCode: 4, status: http.StatusServiceUnavailable})
 		return
 	}
 	if len(req.Facts) == 0 {
-		writeErr(w, errUsage("empty fact batch"))
+		fail(errUsage("empty fact batch"))
 		return
 	}
 	facts := make([]datalog.Fact, len(req.Facts))
@@ -309,11 +455,11 @@ func (s *Server) handleAssert(w http.ResponseWriter, r *http.Request) {
 		// shared with concurrent readers and must not grow at runtime).
 		decl, ok := svc.decls[f.Pred]
 		if !ok {
-			writeErr(w, errNotFound(fmt.Sprintf("program %s has no predicate %q", svc.name, f.Pred)))
+			fail(errNotFound(fmt.Sprintf("program %s has no predicate %q", svc.name, f.Pred)))
 			return
 		}
 		if len(f.Args) != decl.Arity {
-			writeErr(w, &apiError{
+			fail(&apiError{
 				Code:     "parse",
 				Message:  fmt.Sprintf("facts[%d]: %s takes %d arguments (cost last for cost predicates), got %d", i, f.Pred, decl.Arity, len(f.Args)),
 				ExitCode: 2, status: http.StatusBadRequest,
@@ -322,7 +468,7 @@ func (s *Server) handleAssert(w http.ResponseWriter, r *http.Request) {
 		}
 		args, err := decodeArgs(f.Args, false)
 		if err != nil {
-			writeErr(w, &apiError{Code: "parse", Message: fmt.Sprintf("facts[%d]: %v", i, err), ExitCode: 2, status: http.StatusBadRequest})
+			fail(&apiError{Code: "parse", Message: fmt.Sprintf("facts[%d]: %v", i, err), ExitCode: 2, status: http.StatusBadRequest})
 			return
 		}
 		facts[i] = datalog.NewFact(f.Pred, args...)
@@ -335,9 +481,10 @@ func (s *Server) handleAssert(w http.ResponseWriter, r *http.Request) {
 	}
 	next, stats, err := svc.assert(ctx, facts)
 	if err != nil {
-		writeErr(w, classifySolveError(err))
+		fail(classifySolveError(err))
 		return
 	}
+	s.metrics.publishModel(svc.name, next.version, next.model.Size())
 	writeJSON(w, http.StatusOK, map[string]any{
 		"program":  svc.name,
 		"version":  next.version,

@@ -2,20 +2,65 @@ package server
 
 import (
 	"net/http"
+	"runtime"
+	"strconv"
 	"sync/atomic"
 	"time"
+
+	"repro/datalog"
+	"repro/internal/obs"
 )
 
-// metrics holds hand-rolled (stdlib-only) counters: one latency/error
-// record per endpoint, updated with atomics so the read path stays
-// lock-free. /metrics renders them as deterministic JSON — struct field
-// order is fixed and program maps are emitted in sorted name order by
-// encoding/json.
+// latencyBuckets are the fixed histogram upper bounds (seconds) for
+// request latencies: sub-millisecond point reads through multi-second
+// assert solves.
+var latencyBuckets = []float64{0.001, 0.005, 0.025, 0.1, 0.5, 2.5, 10}
+
+// metricEndpoints is the known endpoint set, pre-registered so every
+// series appears (at zero) from the first scrape. Requests outside this
+// set — unknown paths, bad methods — are recorded under "other" rather
+// than silently dropped.
+var metricEndpoints = []string{
+	"/healthz", "/metrics", "/v1/assert", "/v1/explain", "/v1/program", "/v1/query", "/v1/stats",
+}
+
+// otherEndpoint aggregates traffic on unknown paths (404s and method
+// mismatches), so scans and misconfigured clients stay visible.
+const otherEndpoint = "other"
+
+// metrics is the server's instrumentation: an obs.Registry rendered in
+// the Prometheus text format at /metrics, plus a parallel per-endpoint
+// JSON view (the pre-registry wire shape, kept for Accept:
+// application/json clients). All updates are atomic; the hot path never
+// takes a lock after construction.
 type metrics struct {
+	reg *obs.Registry
+
+	// httpRequests counts requests by endpoint and status code;
+	// httpDuration is the per-endpoint latency histogram.
+	httpRequests *obs.CounterVec
+	httpDuration *obs.HistogramVec
+	// assertOutcomes counts /v1/assert results by program and outcome
+	// ("ok" or the structured error code: parse, budget, diverged, …).
+	assertOutcomes *obs.CounterVec
+	// Per-program model gauges, updated when a new model generation is
+	// published (materialize or a successful assert).
+	modelSize    *obs.GaugeVec
+	modelVersion *obs.GaugeVec
+	// Per-program engine gauges, fed from the engine's event stream:
+	// cumulative rounds/firings/derived of the published model chain.
+	engineRounds  *obs.GaugeVec
+	engineFirings *obs.GaugeVec
+	engineDerived *obs.GaugeVec
+
+	// endpoints is the JSON view; fixed at construction (known set plus
+	// "other"), so observe reads it without locking.
 	endpoints map[string]*endpointStats
 }
 
-// endpointStats aggregates one endpoint's traffic.
+// endpointStats aggregates one endpoint's traffic for the JSON view
+// (plain atomics kept out of the registry: avg/max have no Prometheus
+// type — the histograms cover them there).
 type endpointStats struct {
 	count    atomic.Int64
 	errors   atomic.Int64
@@ -23,26 +68,53 @@ type endpointStats struct {
 	maxNanos atomic.Int64
 }
 
-// metricEndpoints fixes the set of tracked endpoints (and their render
-// order is the sorted key order of the JSON map).
-var metricEndpoints = []string{
-	"/healthz", "/metrics", "/v1/assert", "/v1/explain", "/v1/program", "/v1/query",
-}
-
 func newMetrics() *metrics {
-	m := &metrics{endpoints: map[string]*endpointStats{}}
-	for _, e := range metricEndpoints {
+	reg := obs.NewRegistry()
+	m := &metrics{
+		reg: reg,
+		httpRequests: reg.NewCounterVec("mdl_http_requests_total",
+			"Requests served, by endpoint and HTTP status code.", "endpoint", "code"),
+		httpDuration: reg.NewHistogramVec("mdl_http_request_duration_seconds",
+			"Request latency in seconds, by endpoint.", latencyBuckets, "endpoint"),
+		assertOutcomes: reg.NewCounterVec("mdl_assert_outcomes_total",
+			"Assert batches, by program and outcome (ok or error kind).", "program", "outcome"),
+		modelSize: reg.NewGaugeVec("mdl_program_model_size",
+			"Stored tuples in the published model, by program.", "program"),
+		modelVersion: reg.NewGaugeVec("mdl_program_model_version",
+			"Published model generation (1 = initial materialization), by program.", "program"),
+		engineRounds: reg.NewGaugeVec("mdl_engine_rounds",
+			"Cumulative fixpoint rounds behind the published model, by program.", "program"),
+		engineFirings: reg.NewGaugeVec("mdl_engine_firings",
+			"Cumulative rule firings behind the published model, by program.", "program"),
+		engineDerived: reg.NewGaugeVec("mdl_engine_derived",
+			"Cumulative derivations behind the published model, by program.", "program"),
+		endpoints: map[string]*endpointStats{},
+	}
+	reg.NewGaugeVec("mdl_build_info",
+		"Build information; the value is always 1.", "go_version").
+		With(runtime.Version()).Set(1)
+	for _, e := range append(append([]string(nil), metricEndpoints...), otherEndpoint) {
 		m.endpoints[e] = &endpointStats{}
+		m.httpDuration.With(e)
 	}
 	return m
 }
 
-// observe records one request against its endpoint.
-func (m *metrics) observe(endpoint string, status int, elapsed time.Duration) {
-	es, ok := m.endpoints[endpoint]
-	if !ok {
-		return
+// endpointLabel normalizes a request path to a known endpoint label,
+// mapping everything else to "other".
+func (m *metrics) endpointLabel(path string) string {
+	if _, ok := m.endpoints[path]; ok && path != otherEndpoint {
+		return path
 	}
+	return otherEndpoint
+}
+
+// observe records one request. endpoint must come from endpointLabel.
+func (m *metrics) observe(endpoint string, status int, elapsed time.Duration) {
+	m.httpRequests.With(endpoint, strconv.Itoa(status)).Inc()
+	m.httpDuration.With(endpoint).Observe(elapsed.Seconds())
+
+	es := m.endpoints[endpoint]
 	es.count.Add(1)
 	if status >= http.StatusBadRequest {
 		es.errors.Add(1)
@@ -57,7 +129,48 @@ func (m *metrics) observe(endpoint string, status int, elapsed time.Duration) {
 	}
 }
 
-// endpointMetrics is the rendered form of one endpoint's stats.
+// assertOutcome records one /v1/assert result ("ok" or the structured
+// error code).
+func (m *metrics) assertOutcome(program, outcome string) {
+	if program == "" {
+		program = "unknown"
+	}
+	m.assertOutcomes.With(program, outcome).Inc()
+}
+
+// publishModel updates the per-program model gauges for a newly
+// published generation.
+func (m *metrics) publishModel(program string, version uint64, size int) {
+	m.modelSize.With(program).Set(float64(size))
+	m.modelVersion.With(program).Set(float64(version))
+}
+
+// programSink returns the event sink that feeds one program's engine
+// gauges. It is chained in front of any user-configured sink at load
+// time, and runs on the solving goroutine (the single-writer path), so
+// gauge stores are the only synchronization needed.
+func (m *metrics) programSink(program string) datalog.EventSink {
+	rounds := m.engineRounds.With(program)
+	firings := m.engineFirings.With(program)
+	derived := m.engineDerived.With(program)
+	return datalog.SinkFunc(func(e datalog.Event) {
+		switch e.Kind {
+		case datalog.EventRoundEnd:
+			rounds.Add(1)
+			firings.Add(float64(e.Firings))
+			derived.Add(float64(e.Derived))
+		case datalog.EventSolveEnd:
+			// SolveEnd carries the authoritative cumulative totals
+			// (seeded across warm starts and assert chains); snap the
+			// gauges to them so restarts don't under-report.
+			rounds.Set(float64(e.Round))
+			firings.Set(float64(e.Firings))
+			derived.Set(float64(e.Derived))
+		}
+	})
+}
+
+// endpointMetrics is the rendered JSON form of one endpoint's stats.
 type endpointMetrics struct {
 	Count     int64   `json:"count"`
 	Errors    int64   `json:"errors"`

@@ -38,6 +38,7 @@ import (
 	"errors"
 	"fmt"
 	"io/fs"
+	"log/slog"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -53,6 +54,13 @@ type Config struct {
 	RequestTimeout time.Duration
 	// Logf receives one line per notable event (nil = silent).
 	Logf func(format string, args ...any)
+	// Logger, when non-nil, receives one structured record per request
+	// (method, path, status, duration, request id) plus the notable
+	// events that also go to Logf.
+	Logger *slog.Logger
+	// SlowRequest, when positive, logs requests slower than this
+	// threshold at Warn level (requires Logger).
+	SlowRequest time.Duration
 }
 
 // ProgramSpec names one program to serve.
@@ -129,6 +137,11 @@ func New(specs []ProgramSpec, cfg Config) (*Server, error) {
 		if _, dup := s.svcs[spec.Name]; dup {
 			return nil, fmt.Errorf("server: duplicate program name %q", spec.Name)
 		}
+		// Chain the metrics sink in front of any user-configured sink:
+		// the engine's event stream feeds the per-program gauges. Events
+		// are only ever emitted from the single-writer path (materialize
+		// and serialized asserts), and gauge updates are atomic.
+		spec.Options.Sink = datalog.MultiSink(s.metrics.programSink(spec.Name), spec.Options.Sink)
 		p, err := datalog.Load(spec.Source, spec.Options)
 		if err != nil {
 			return nil, fmt.Errorf("server: program %s: %w", spec.Name, err)
@@ -152,9 +165,16 @@ func New(specs []ProgramSpec, cfg Config) (*Server, error) {
 	return s, nil
 }
 
+// logf reports one notable event. Logf wins when both sinks are set
+// (the structured Logger then carries request records only), so lines
+// are never duplicated.
 func (s *Server) logf(format string, args ...any) {
 	if s.cfg.Logf != nil {
 		s.cfg.Logf(format, args...)
+		return
+	}
+	if s.cfg.Logger != nil {
+		s.cfg.Logger.Info(fmt.Sprintf(format, args...))
 	}
 }
 
@@ -169,6 +189,7 @@ func (s *Server) Materialize(ctx context.Context) error {
 			return fmt.Errorf("server: materialize %s: %w", name, err)
 		}
 		svc.cur.Store(&modelState{model: m, version: 1, warm: warm})
+		s.metrics.publishModel(name, 1, m.Size())
 		how := "solved"
 		if warm {
 			how = "warm-started"

@@ -58,6 +58,27 @@ func get(t testing.TB, url string) (int, map[string]any) {
 	return resp.StatusCode, out
 }
 
+// getJSON is get with an explicit Accept: application/json header (the
+// /metrics endpoint defaults to the Prometheus text format).
+func getJSON(t testing.TB, url string) (int, map[string]any) {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodGet, url, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Accept", "application/json")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatalf("decoding response: %v", err)
+	}
+	return resp.StatusCode, out
+}
+
 func loadExample(t testing.TB, name string) string {
 	t.Helper()
 	b, err := os.ReadFile("../../examples/programs/" + name)
@@ -261,7 +282,7 @@ func TestServeHealthzMetricsProgram(t *testing.T) {
 	// Drive some traffic, then check the counters moved.
 	post(t, ts.URL+"/v1/query", `{"op":"has","pred":"s","args":["a","b"]}`)
 	post(t, ts.URL+"/v1/query", `{"op":"bad","pred":"s","args":[]}`)
-	code, resp = get(t, ts.URL+"/metrics")
+	code, resp = getJSON(t, ts.URL+"/metrics")
 	if code != http.StatusOK {
 		t.Fatalf("metrics: %d", code)
 	}

@@ -122,3 +122,15 @@ func BenchmarkGroupStratifiedCheck(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkSolve is the canonical end-to-end fixpoint benchmark used to
+// bound instrumentation overhead: a full semi-naive solve of the
+// shortest-path program on a fixed cyclic graph, no sink attached.
+func BenchmarkSolve(b *testing.B) {
+	g := gen.Graph(gen.CycleGraph, 96, 4*96, 9, 96)
+	en := mustEngine(b, programs.ShortestPath+gen.GraphFacts(g), core.Options{})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		solveB(b, en)
+	}
+}

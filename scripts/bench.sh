@@ -1,0 +1,49 @@
+#!/bin/sh
+# Run the root-package benchmark suite and record the results as JSON,
+# one object per benchmark, in BENCH_<date>.json at the repo root.
+#
+#   scripts/bench.sh                 # full run (go test's default -benchtime)
+#   BENCHTIME=1x scripts/bench.sh    # smoke run: one iteration per benchmark
+#   BENCH_PATTERN=Solve scripts/bench.sh
+#
+# The JSON is a stable machine-readable trail for spotting regressions
+# across commits; pair two files from different checkouts to compare.
+# On a shared machine prefer interleaved A/B runs of two built test
+# binaries over comparing stored numbers (see docs/OBSERVABILITY.md).
+set -eu
+
+ROOT=$(cd "$(dirname "$0")/.." && pwd)
+BENCHTIME=${BENCHTIME:-}
+BENCH_PATTERN=${BENCH_PATTERN:-.}
+OUT=${BENCH_OUT:-"$ROOT/BENCH_$(date +%Y%m%d).json"}
+RAW=$(mktemp)
+trap 'rm -f "$RAW"' EXIT INT TERM
+
+echo "bench: running go test -bench $BENCH_PATTERN ${BENCHTIME:+-benchtime $BENCHTIME}"
+( cd "$ROOT" && go test . -run '^$' -bench "$BENCH_PATTERN" -benchmem \
+    ${BENCHTIME:+-benchtime "$BENCHTIME"} ) | tee "$RAW"
+
+# Parse `BenchmarkName-N  iters  ns/op  B/op  allocs/op` lines into JSON.
+awk -v host="$(uname -sm)" -v go="$(go env GOVERSION)" -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" '
+BEGIN { printf "{\n  \"date\": \"%s\",\n  \"go\": \"%s\",\n  \"host\": \"%s\",\n  \"benchmarks\": [", date, go, host; n = 0 }
+/^Benchmark/ && /ns\/op/ {
+    name = $1; sub(/-[0-9]+$/, "", name)
+    ns = ""; bytes = ""; allocs = ""
+    for (i = 2; i < NF; i++) {
+        if ($(i+1) == "ns/op") ns = $i
+        if ($(i+1) == "B/op") bytes = $i
+        if ($(i+1) == "allocs/op") allocs = $i
+    }
+    if (ns == "") next
+    if (n++) printf ","
+    printf "\n    {\"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s", name, $2, ns
+    if (bytes != "") printf ", \"bytes_per_op\": %s", bytes
+    if (allocs != "") printf ", \"allocs_per_op\": %s", allocs
+    printf "}"
+}
+END { printf "\n  ]\n}\n" }
+' "$RAW" >"$OUT"
+
+count=$(grep -c '"name"' "$OUT" || true)
+[ "$count" -gt 0 ] || { echo "bench: FAIL: no benchmark results parsed" >&2; exit 1; }
+echo "bench: wrote $count results to $OUT"

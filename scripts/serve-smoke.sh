@@ -84,8 +84,21 @@ echo "serve-smoke: explain"
 expect "$(curl -sf -d '{"pred":"s","args":["a","d"]}' "$BASE/v1/explain")" \
     '"found":true' 's(a, d, 2)'
 
-echo "serve-smoke: metrics"
-expect "$(curl -sf "$BASE/metrics")" '"/v1/query"' '"errors"' '"version":2'
+echo "serve-smoke: metrics (Prometheus text by default)"
+expect "$(curl -sf "$BASE/metrics")" \
+    'mdl_http_requests_total' 'mdl_http_request_duration_seconds_bucket' \
+    'mdl_program_model_size' 'mdl_build_info'
+
+echo "serve-smoke: metrics (JSON via Accept)"
+expect "$(curl -sf -H 'Accept: application/json' "$BASE/metrics")" \
+    '"/v1/query"' '"errors"' '"version":2'
+
+echo "serve-smoke: per-rule stats endpoint"
+expect "$(curl -sf "$BASE/v1/stats")" '"rules"' '"components"' '"firings"'
+
+echo "serve-smoke: request id echo"
+rid=$(curl -sf -o /dev/null -D - "$BASE/healthz" | tr -d '\r' | sed -n 's/^X-Request-Id: //Ip')
+[ -n "$rid" ] || fail "no X-Request-Id header on response"
 
 echo "serve-smoke: graceful shutdown flushes the checkpoint"
 kill -TERM "$PID"
