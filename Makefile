@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: all build vet test race fuzz crash-test serve-smoke bench bench-smoke ci clean
+.PHONY: all build vet test race fuzz crash-test parallel-test serve-smoke bench bench-smoke bench-smoke-parallel ci clean
 
 all: build
 
@@ -30,6 +30,13 @@ crash-test:
 	$(GO) test -race -run 'Checkpoint|CrashRecovery|Resume|Snapshot|Torn' ./internal/core ./internal/snapshot ./datalog ./cmd/mdl
 	$(GO) test -race ./internal/faults
 
+# Parallel-engine suite under the race detector: the determinism
+# contract over every example program at explicit worker counts, the
+# scheduler stress tests, and worker-crash containment. These pin
+# Parallelism >= 2 so the multi-worker path runs even on one CPU.
+parallel-test:
+	$(GO) test -race -run 'Parallel|Concurrent' ./datalog ./internal/relation ./internal/server ./cmd/mdl
+
 # End-to-end smoke test of the mdl serve subsystem over real HTTP:
 # query, assert, explain, metrics, graceful shutdown, warm restart.
 serve-smoke:
@@ -44,7 +51,13 @@ bench:
 bench-smoke:
 	BENCHTIME=1x BENCH_OUT=/tmp/bench-smoke.json sh scripts/bench.sh
 
-ci: vet build race fuzz crash-test serve-smoke bench-smoke
+# Smoke the multi-worker scheduler benchmarks specifically (parallelism
+# 1/2/GOMAXPROCS sub-runs of the solve workloads).
+bench-smoke-parallel:
+	BENCHTIME=1x BENCH_PATTERN='SolveParallel|SolveAtParallelism' \
+		BENCH_OUT=/tmp/bench-smoke-parallel.json sh scripts/bench.sh
+
+ci: vet build race fuzz crash-test parallel-test serve-smoke bench-smoke bench-smoke-parallel
 
 clean:
 	$(GO) clean ./...

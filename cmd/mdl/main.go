@@ -12,6 +12,8 @@
 //	-eps ε         numeric convergence tolerance (for ω-limit programs)
 //	-max-rounds N  fixpoint round bound per component
 //	-max-facts N   derivation budget per solve (0 = unlimited)
+//	-parallel N    evaluation workers (default: one per CPU; 1 = the
+//	               sequential engine; output is identical either way)
 //	-timeout d     wall-clock budget for evaluation, e.g. 1s (0 = none)
 //	-query pred    print only the tuples of one predicate
 //	-stats         print evaluation statistics to stderr, including
@@ -96,6 +98,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	eps := fs.Float64("eps", 0, "numeric convergence tolerance")
 	maxRounds := fs.Int("max-rounds", 0, "fixpoint round bound per component")
 	maxFacts := fs.Int64("max-facts", 0, "derivation budget per solve (0 = unlimited)")
+	parallel := fs.Int("parallel", 0, "evaluation workers (default one per CPU; 1 = sequential)")
 	timeout := fs.Duration("timeout", 0, "wall-clock budget for evaluation, e.g. 1s (0 = none)")
 	query := fs.String("query", "", "print only this predicate")
 	stats := fs.Bool("stats", false, "print evaluation statistics")
@@ -126,14 +129,22 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	if *ckptEvery < 0 {
 		return usage("-checkpoint-every must be ≥ 0")
 	}
-	timeoutSet := false
+	timeoutSet, parallelSet := false, false
 	fs.Visit(func(f *flag.Flag) {
-		if f.Name == "timeout" {
+		switch f.Name {
+		case "timeout":
 			timeoutSet = true
+		case "parallel":
+			parallelSet = true
 		}
 	})
 	if timeoutSet && *timeout <= 0 {
 		return usage("-timeout must be > 0")
+	}
+	// The unset default (0) means one worker per CPU; an explicit value
+	// must name at least one worker.
+	if parallelSet && *parallel < 1 {
+		return usage("-parallel must be ≥ 1")
 	}
 	// -check never evaluates, so evaluation-only flags genuinely conflict
 	// with it. -resume combined with positional program/fact files does
@@ -152,6 +163,9 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	}
 	if *check && *pprofAddr != "" {
 		return usage("-check does not evaluate; it cannot be combined with -pprof-addr")
+	}
+	if *check && parallelSet {
+		return usage("-check does not evaluate; it cannot be combined with -parallel")
 	}
 	if fs.NArg() == 0 {
 		fmt.Fprintln(stderr, "usage: mdl [flags] program.mdl ...")
@@ -174,6 +188,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		MaxRounds:   *maxRounds,
 		MaxFacts:    *maxFacts,
 		MaxDuration: *timeout,
+		Parallelism: *parallel,
 		SkipChecks:  *unchecked || *check,
 		WFSFallback: *wfsFallback,
 		Trace:       *explain != "",

@@ -117,6 +117,14 @@ type Options struct {
 	// consecutive times with nothing else changing (0 = default 1000,
 	// negative disables).
 	DivergenceStreak int
+	// Parallelism sets the evaluation worker-pool size: independent
+	// program components run concurrently and each round's rules are
+	// evaluated speculatively in parallel, with results merged so that
+	// models, traces and stats totals are byte-identical to sequential
+	// evaluation (see docs/ARCHITECTURE.md). 0 means one worker per
+	// CPU (runtime.GOMAXPROCS); 1 selects exactly the sequential
+	// engine.
+	Parallelism int
 	// Sink, when non-nil, receives the engine's typed event stream —
 	// solve/component/round boundaries, rule passes, checkpoint
 	// flushes and resource warnings. Events are emitted synchronously
@@ -148,6 +156,7 @@ func Load(src string, opts Options) (*Program, error) {
 		MaxDuration:      opts.MaxDuration,
 		CheckEvery:       opts.CheckEvery,
 		DivergenceStreak: opts.DivergenceStreak,
+		Parallelism:      opts.Parallelism,
 	}
 	en, err := core.New(prog, core.Options{
 		Strategy:    opts.Strategy,
@@ -307,6 +316,14 @@ func WithCheckEvery(n int) SolveOption {
 // disables it).
 func WithDivergenceStreak(n int) SolveOption {
 	return func(c *solveConfig) { c.lim.DivergenceStreak = n }
+}
+
+// WithParallelism overrides the evaluation worker-pool size for this
+// solve (0 = one worker per CPU, 1 = sequential). The parallel engine
+// is deterministic: the model, traces and stats totals are identical at
+// every parallelism level.
+func WithParallelism(n int) SolveOption {
+	return func(c *solveConfig) { c.lim.Parallelism = n }
 }
 
 // Solve evaluates the program over the given extensional facts and

@@ -1,0 +1,246 @@
+package datalog_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"testing"
+
+	"repro/datalog"
+	"repro/internal/faults"
+)
+
+// The parallel engine's determinism contract (docs/ARCHITECTURE.md):
+// for every program and every parallelism level, the model, the
+// insertion order of facts, the recorded derivations and the Stats
+// totals are byte-identical to the sequential engine's. These tests
+// enforce the contract differentially over every shipped example
+// program; timing fields (Nanos) are the only tolerated difference.
+
+// normStats strips wall-clock time from a Stats, the one field the
+// determinism contract exempts.
+func normStats(s datalog.Stats) datalog.Stats {
+	n := s.Clone()
+	for i := range n.Rules {
+		n.Rules[i].Nanos = 0
+	}
+	for i := range n.Comps {
+		n.Comps[i].Nanos = 0
+	}
+	return n
+}
+
+// factFingerprint renders every predicate's facts in insertion order —
+// the order Rows() reports — so reorderings invisible in the sorted
+// model rendering still fail the comparison.
+func factFingerprint(m *datalog.Model) string {
+	var b strings.Builder
+	for _, pred := range m.Preds() {
+		fmt.Fprintf(&b, "%s:\n", pred)
+		for _, row := range m.Facts(pred) {
+			fmt.Fprintf(&b, "  %v\n", row)
+		}
+	}
+	return b.String()
+}
+
+// traceFingerprint renders the recorded derivation (rule plus supports)
+// of every fact in the model. Requires Trace to be on.
+func traceFingerprint(t *testing.T, p *datalog.Program, m *datalog.Model) string {
+	t.Helper()
+	hasCost := map[string]bool{}
+	for _, d := range p.Predicates() {
+		hasCost[d.Name] = d.HasCost
+	}
+	var b strings.Builder
+	for _, pred := range m.Preds() {
+		for _, row := range m.Facts(pred) {
+			args := row
+			if hasCost[pred] {
+				args = row[:len(row)-1]
+			}
+			rule, supports, ok := m.Explain(pred, args...)
+			fmt.Fprintf(&b, "%s%v ok=%v rule=%q supports=%v\n", pred, args, ok, rule, supports)
+		}
+	}
+	return b.String()
+}
+
+// solveParallel loads one example with tracing and the given worker
+// count and solves it.
+func solveParallel(t *testing.T, name string, par int) (*datalog.Program, *datalog.Model, datalog.Stats) {
+	t.Helper()
+	src, err := os.ReadFile(filepath.Join(exampleDir, name))
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := exampleOptions(name)
+	opts.Trace = true
+	opts.Parallelism = par
+	p, err := datalog.Load(string(src), opts)
+	if err != nil {
+		t.Fatalf("%s: %v", name, err)
+	}
+	m, stats, err := p.Solve()
+	if err != nil {
+		t.Fatalf("%s at parallelism %d: %v", name, par, err)
+	}
+	return p, m, stats
+}
+
+// TestParallelDeterminism solves every shipped example program
+// (omega.mdl diverges by design and is excluded) sequentially and at
+// parallelism 2 and GOMAXPROCS, asserting model, fact order, traces
+// and stats agree exactly.
+func TestParallelDeterminism(t *testing.T) {
+	entries, err := os.ReadDir(exampleDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		name := e.Name()
+		if !strings.HasSuffix(name, ".mdl") || name == "omega.mdl" {
+			continue
+		}
+		t.Run(name, func(t *testing.T) {
+			seqP, seqM, seqStats := solveParallel(t, name, 1)
+			seqModel := seqM.String()
+			seqFacts := factFingerprint(seqM)
+			seqTrace := traceFingerprint(t, seqP, seqM)
+			for _, par := range []int{2, runtime.GOMAXPROCS(0)} {
+				parP, parM, parStats := solveParallel(t, name, par)
+				if got := parM.String(); got != seqModel {
+					t.Fatalf("parallelism %d model differs:\n%s\nwant:\n%s", par, got, seqModel)
+				}
+				if got := factFingerprint(parM); got != seqFacts {
+					t.Fatalf("parallelism %d fact order differs:\n%s\nwant:\n%s", par, got, seqFacts)
+				}
+				if got := traceFingerprint(t, parP, parM); got != seqTrace {
+					t.Fatalf("parallelism %d traces differ:\n%s\nwant:\n%s", par, got, seqTrace)
+				}
+				if got, want := fmt.Sprintf("%+v", normStats(parStats)), fmt.Sprintf("%+v", normStats(seqStats)); got != want {
+					t.Fatalf("parallelism %d stats differ:\n%s\nwant:\n%s", par, got, want)
+				}
+			}
+		})
+	}
+}
+
+// TestParallelSolveMoreChain extends a model twice through the
+// incremental path at each parallelism level; the chained models and
+// cumulative stats must match the sequential chain exactly.
+func TestParallelSolveMoreChain(t *testing.T) {
+	chain := func(par int) (string, string, datalog.Stats) {
+		t.Helper()
+		p, m, _ := solveParallel(t, "shortestpath.mdl", par)
+		m2, _, err := p.SolveMore(m,
+			datalog.NewFact("arc", datalog.Sym("f"), datalog.Sym("a"), datalog.Num(1)),
+			datalog.NewFact("arc", datalog.Sym("e"), datalog.Sym("f"), datalog.Num(2)))
+		if err != nil {
+			t.Fatalf("parallelism %d first SolveMore: %v", par, err)
+		}
+		m3, stats, err := p.SolveMore(m2,
+			datalog.NewFact("arc", datalog.Sym("f"), datalog.Sym("d"), datalog.Num(1)))
+		if err != nil {
+			t.Fatalf("parallelism %d second SolveMore: %v", par, err)
+		}
+		return m3.String(), factFingerprint(m3), stats
+	}
+	seqModel, seqFacts, seqStats := chain(1)
+	for _, par := range []int{2, runtime.GOMAXPROCS(0)} {
+		parModel, parFacts, parStats := chain(par)
+		if parModel != seqModel {
+			t.Fatalf("parallelism %d chained model differs:\n%s\nwant:\n%s", par, parModel, seqModel)
+		}
+		if parFacts != seqFacts {
+			t.Fatalf("parallelism %d chained fact order differs:\n%s\nwant:\n%s", par, parFacts, seqFacts)
+		}
+		if got, want := fmt.Sprintf("%+v", normStats(parStats)), fmt.Sprintf("%+v", normStats(seqStats)); got != want {
+			t.Fatalf("parallelism %d chained stats differ:\n%s\nwant:\n%s", par, got, want)
+		}
+	}
+}
+
+// TestParallelKillResume interrupts a parallel solve (injected panic at
+// a fixpoint round boundary, simulating a crash) with checkpointing on,
+// then restores the last durable checkpoint and resumes — still in
+// parallel — asserting the final model matches an uninterrupted
+// sequential solve. Component boundaries and round boundaries are the
+// only checkpoint cut points, so every checkpoint a parallel run
+// flushes must be a consistent state of the global database.
+func TestParallelKillResume(t *testing.T) {
+	for _, name := range []string{"shortestpath.mdl", "companycontrol.mdl"} {
+		t.Run(name, func(t *testing.T) {
+			_, full, _ := solveParallel(t, name, 1)
+
+			src, err := os.ReadFile(filepath.Join(exampleDir, name))
+			if err != nil {
+				t.Fatal(err)
+			}
+			opts := exampleOptions(name)
+			opts.Parallelism = 4
+			p, err := datalog.Load(string(src), opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ckpt := filepath.Join(t.TempDir(), "model.ckpt")
+			faults.Arm(faults.Fault{Point: faults.CoreRound, After: 2, Panic: true})
+			defer faults.Reset()
+			_, _, err = p.SolveContext(context.Background(), nil,
+				datalog.WithCheckpoint(datalog.FileCheckpoint(ckpt), 1))
+			if !errors.Is(err, datalog.ErrInternal) {
+				t.Fatalf("injected crash: err = %v, want ErrInternal", err)
+			}
+			faults.Reset()
+
+			restored, err := p.RestoreFile(ckpt)
+			if err != nil {
+				t.Fatalf("restore after crash: %v", err)
+			}
+			m, _, err := p.Resume(context.Background(), restored)
+			if err != nil {
+				t.Fatalf("resume after crash: %v", err)
+			}
+			if m.String() != full.String() {
+				t.Fatalf("resumed parallel model differs from sequential solve:\n%s\nwant:\n%s", m, full)
+			}
+		})
+	}
+}
+
+// TestParallelWorkerPanicContained arms the worker-entry fault point:
+// a panic on a scheduler worker goroutine must surface as a structured
+// ErrInternal from Solve — never crash the process and never hang the
+// scheduler — and the engine must remain usable afterwards.
+func TestParallelWorkerPanicContained(t *testing.T) {
+	src, err := os.ReadFile(filepath.Join(exampleDir, "shortestpath.mdl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := datalog.Load(string(src), datalog.Options{Parallelism: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	faults.Arm(faults.Fault{Point: faults.CoreParallelWorker, Panic: true, Sticky: true})
+	defer faults.Reset()
+	_, _, err = p.Solve()
+	if !errors.Is(err, datalog.ErrInternal) {
+		t.Fatalf("err = %v, want ErrInternal", err)
+	}
+	var ee *datalog.EngineError
+	if !errors.As(err, &ee) {
+		t.Fatalf("err %T is not a structured *EngineError", err)
+	}
+	if len(ee.Stack) == 0 {
+		t.Fatal("contained panic must carry the worker stack")
+	}
+	// The engine must stay usable: disarm and the same Program solves.
+	faults.Reset()
+	if _, _, err := p.Solve(); err != nil {
+		t.Fatalf("solve after contained crash: %v", err)
+	}
+}

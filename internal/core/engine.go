@@ -91,6 +91,11 @@ type Engine struct {
 	// nrules is the number of compiled plans across all components;
 	// plans carry engine-global indices into Stats.Rules.
 	nrules int
+	// compDeps and compLDB drive the parallel scheduler: per component,
+	// the (sorted) indices of the lower components it depends on, and
+	// the (sorted) lower-defined predicates its rules read.
+	compDeps [][]int
+	compLDB  [][]ast.PredKey
 	// sink is Options.Sink (nil = no event emission).
 	sink obs.Sink
 	// trace holds the provenance of the most recent traced Solve.
@@ -111,7 +116,10 @@ func New(prog *ast.Program, opts Options) (*Engine, error) {
 	if err := ast.ValidateProgram(prog, schemas); err != nil {
 		return nil, err
 	}
-	en := &Engine{Prog: prog, Schemas: schemas, opts: opts, sink: opts.Sink}
+	// The sink is mutex-wrapped once at construction: parallel solves
+	// emit from several goroutines, and the wrapper keeps plain sinks
+	// correct there at the cost of one uncontended lock per event.
+	en := &Engine{Prog: prog, Schemas: schemas, opts: opts, sink: obs.Locked(opts.Sink)}
 	if !opts.SkipChecks {
 		if err := safety.CheckProgram(prog, schemas); err != nil {
 			return nil, err
@@ -129,7 +137,13 @@ func New(prog *ast.Program, opts Options) (*Engine, error) {
 			parts[i] = string(k)
 		}
 		en.compPreds = append(en.compPreds, strings.Join(parts, ","))
-		cdb, _ := deps.Split(prog, c)
+		cdb, ldb := deps.Split(prog, c)
+		lk := make([]ast.PredKey, 0, len(ldb))
+		for k := range ldb {
+			lk = append(lk, k)
+		}
+		sort.Slice(lk, func(i, j int) bool { return lk[i] < lk[j] })
+		en.compLDB = append(en.compLDB, lk)
 		rules := deps.RulesOfComponent(prog, c)
 		cx := &monotone.Context{Schemas: schemas, CDB: cdb}
 		var admErr error
@@ -165,6 +179,25 @@ func New(prog *ast.Program, opts Options) (*Engine, error) {
 			ps = append(ps, p)
 		}
 		en.plans = append(en.plans, ps)
+	}
+	// Component dependency edges (for the parallel scheduler): ci
+	// depends on every distinct lower component defining a predicate
+	// its predicates reach. SCCs returns bottom-up order, so every
+	// dependency has a smaller index and the DAG is acyclic by
+	// construction.
+	cidx := deps.ComponentIndex(en.comps)
+	en.compDeps = make([][]int, len(en.comps))
+	for ci, c := range en.comps {
+		seen := map[int]bool{}
+		for _, p := range c.Preds {
+			for q := range g.Edges[p] {
+				if qi, ok := cidx[q]; ok && qi != ci && !seen[qi] {
+					seen[qi] = true
+					en.compDeps[ci] = append(en.compDeps[ci], qi)
+				}
+			}
+		}
+		sort.Ints(en.compDeps[ci])
 	}
 	return en, nil
 }
@@ -220,6 +253,9 @@ func (en *Engine) Resume(ctx context.Context, prev *relation.DB, lim Limits, bas
 // fixpoint runs the iterated fixpoint of §6.3 over db in place,
 // starting the stats from base.
 func (en *Engine) fixpoint(ctx context.Context, db *relation.DB, lim Limits, base Stats) (_ *relation.DB, _ Stats, err error) {
+	if par := effectiveParallelism(lim); par > 1 {
+		return en.fixpointParallel(ctx, db, lim, base, par)
+	}
 	if lim.MaxDuration > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, lim.MaxDuration)

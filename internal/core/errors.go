@@ -69,6 +69,14 @@ type Limits struct {
 	// (0 disables round-boundary checkpoints; component boundaries
 	// always checkpoint while Checkpoint is set).
 	CheckpointEvery int
+	// Parallelism sets the evaluation worker-pool size: independent
+	// components run concurrently, and within a recursive component the
+	// rules of one round are evaluated speculatively in parallel (see
+	// docs/ARCHITECTURE.md for the determinism contract — models, traces
+	// and stats totals are byte-identical to sequential evaluation).
+	// 0 means runtime.GOMAXPROCS(0); 1 (or any value below 1) selects
+	// exactly the sequential engine.
+	Parallelism int
 }
 
 const (
@@ -192,6 +200,11 @@ func (e *EngineError) Unwrap() []error {
 type guard struct {
 	ctx      context.Context
 	maxFacts int64
+	// budget, when non-nil, replaces the local maxFacts accounting with a
+	// solve-global atomic derivation counter shared by every parallel
+	// component worker, so MaxFacts bounds the whole solve no matter how
+	// work is distributed.
+	budget *sharedBudget
 	// baseDerived is stats.Derived at guard creation; MaxFacts bounds
 	// the derivations of this call, not the cumulative total, so a
 	// resumed solve seeded with checkpoint stats gets a fresh budget.
@@ -316,7 +329,11 @@ func (g *guard) derived(pred ast.PredKey, args []val.T, cost lattice.Elem, hasCo
 	if improved {
 		g.lastImproved = renderAtom(pred, args, cost, hasCost)
 	}
-	if g.maxFacts > 0 && g.stats.Derived-g.baseDerived > g.maxFacts {
+	if g.budget != nil {
+		if err := g.budget.spend(g); err != nil {
+			return err
+		}
+	} else if g.maxFacts > 0 && g.stats.Derived-g.baseDerived > g.maxFacts {
 		e := g.fail(ErrBudgetExceeded, nil)
 		e.Limit = g.maxFacts
 		if g.sink != nil {

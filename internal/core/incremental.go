@@ -9,6 +9,7 @@ import (
 	"repro/internal/lattice"
 	"repro/internal/obs"
 	"repro/internal/relation"
+	"repro/internal/val"
 )
 
 // SolveMore continues a previously computed model with additional EDB
@@ -80,6 +81,30 @@ func (en *Engine) SolveMoreFrom(ctx context.Context, prev *relation.DB, added *r
 		return nil, stats, err
 	}
 
+	// Parallelism > 1 swaps in the intra-round parallel loop. Components
+	// still run sequentially here — incremental seeds flow bottom-up
+	// through `changed`, a cross-component dependency the DAG scheduler
+	// does not model — and the merge phase replays in rule order, so the
+	// result stays byte-identical to the sequential path (including the
+	// classic local MaxFacts accounting, which is why no shared budget
+	// is involved).
+	var pc *parRun
+	if par := effectiveParallelism(lim); par > 1 {
+		pc = &parRun{
+			sem: make(chan struct{}, par-1),
+			store: func(k ast.PredKey, args []val.T, d *Derivation) {
+				if d == nil {
+					return
+				}
+				if en.trace == nil {
+					en.trace = map[string]*Derivation{}
+				}
+				en.trace[traceKey(k, args)] = d
+			},
+			roundBoundary: func(g *guard, dbv *relation.DB) error { return g.roundBoundary(dbv) },
+		}
+	}
+
 	db := prev.Clone()
 	changed := newDeltaSet()
 	for k := range addedPreds {
@@ -141,9 +166,13 @@ func (en *Engine) SolveMoreFrom(ctx context.Context, prev *relation.DB, added *r
 		r0, f0, d0, p0 := stats.Rounds, stats.Firings, stats.Derived, stats.Probes
 		t0 := time.Now()
 		cerr := en.runComponent(g, func() error {
-			return en.semiNaiveLoop(g, db, ci, ps, &stats, seed, func(k ast.PredKey, row relation.Row) {
+			record := func(k ast.PredKey, row relation.Row) {
 				changed.add(k, row)
-			})
+			}
+			if pc != nil {
+				return en.parSemiNaiveLoop(pc, g, db, ci, ps, &stats, seed, record)
+			}
+			return en.semiNaiveLoop(g, db, ci, ps, &stats, seed, record)
 		})
 		cs.Rounds += stats.Rounds - r0
 		cs.Firings += stats.Firings - f0

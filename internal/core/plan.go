@@ -8,6 +8,12 @@
 // that each step sees the variables it needs already bound (aggregates
 // with unbound grouping variables execute as a grouped scan, which is how
 // the paper's rule "s(X,Y,C) :- C ?= min D : path(X,Z,Y,D)" runs).
+//
+// With Limits.Parallelism > 1 (the default resolves to one worker per
+// CPU) the fixpoint runs on the parallel scheduler in parallel.go —
+// independent components concurrently, rules within a round
+// speculatively — with results guaranteed byte-identical to the
+// sequential engine; see docs/ARCHITECTURE.md.
 package core
 
 import (
@@ -39,6 +45,12 @@ type plan struct {
 	scanSteps    map[ast.PredKey][]int
 	cdbScanSteps []int
 	hasCDBAgg    bool
+	// reads is every predicate this plan consults at evaluation time
+	// (positive scans, negated literals, aggregate conjuncts). The
+	// parallel merge phase uses it for conflict detection: a rule whose
+	// reads intersect the predicates already improved this round cannot
+	// replay its speculative buffer and re-runs sequentially instead.
+	reads map[ast.PredKey]bool
 }
 
 // step is one executable body element.
@@ -380,13 +392,23 @@ func (c *compiler) compileRule(r *ast.Rule) (*plan, error) {
 		p.steps = append(p.steps, pd.s)
 	}
 
-	// Record scan positions (semi-naive drivers).
+	// Record scan positions (semi-naive drivers) and the full read set
+	// (parallel conflict detection).
 	p.scanSteps = map[ast.PredKey][]int{}
+	p.reads = map[ast.PredKey]bool{}
 	for i, s := range p.steps {
-		if sc, ok := s.(*scanStep); ok {
-			p.scanSteps[sc.pred] = append(p.scanSteps[sc.pred], i)
-			if sc.cdb {
+		switch s := s.(type) {
+		case *scanStep:
+			p.scanSteps[s.pred] = append(p.scanSteps[s.pred], i)
+			if s.cdb {
 				p.cdbScanSteps = append(p.cdbScanSteps, i)
+			}
+			p.reads[s.pred] = true
+		case *negStep:
+			p.reads[s.pred] = true
+		case *aggStep:
+			for ci := range s.conj {
+				p.reads[s.conj[ci].pred] = true
 			}
 		}
 	}

@@ -60,11 +60,24 @@ func traceKey(k ast.PredKey, args []val.T) string {
 
 // recordTrace captures the firing environment for the head tuple.
 func (en *Engine) recordTrace(p *plan, e *env, args []val.T) {
-	if p.rule.IsFact() {
+	d := buildDerivation(p, e)
+	if d == nil {
 		return // facts are their own explanation
 	}
 	if en.trace == nil {
 		en.trace = map[string]*Derivation{}
+	}
+	en.trace[traceKey(p.head.pred, args)] = d
+}
+
+// buildDerivation snapshots the firing environment as a Derivation (nil
+// for fact rules, which are their own explanation). The snapshot owns
+// all of its data — nothing aliases the (reused) env — so the parallel
+// engine can capture it during speculative evaluation and store it only
+// if the replay actually improves the tuple.
+func buildDerivation(p *plan, e *env) *Derivation {
+	if p.rule.IsFact() {
+		return nil
 	}
 	d := &Derivation{Rule: p.rule.String()}
 	for _, st := range p.steps {
@@ -86,7 +99,7 @@ func (en *Engine) recordTrace(p *plan, e *env, args []val.T) {
 		}
 		d.Supports = append(d.Supports, e.aggSupports[i]...)
 	}
-	en.trace[traceKey(p.head.pred, args)] = d
+	return d
 }
 
 func supportOfAtom(sp *atomSpec, e *env, neg bool) Support {

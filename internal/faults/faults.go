@@ -26,6 +26,11 @@ const (
 	// (after the round's insertions, before its checkpoint). Arm with
 	// Panic to simulate a crash at round N.
 	CoreRound = "core.round"
+	// CoreParallelWorker fires at the start of every component
+	// evaluated by a parallel-scheduler worker. Arm with Panic to
+	// exercise the worker-crash containment path (the panic must become
+	// a structured ErrInternal and no partial model may be published).
+	CoreParallelWorker = "core.parallel.worker"
 	// SnapshotSinkWrite fires at the start of every checkpoint sink
 	// write. Arm with an error to simulate a full disk or dead volume.
 	SnapshotSinkWrite = "snapshot.sink.write"

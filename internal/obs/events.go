@@ -11,6 +11,8 @@
 // branch.
 package obs
 
+import "sync"
+
 // Kind identifies an event type.
 type Kind uint8
 
@@ -101,6 +103,14 @@ type Event struct {
 	// Nanos is wall time: cumulative per rule on RuleFired, per
 	// component on ComponentEnd, per solve on SolveEnd.
 	Nanos int64
+	// Parallelism is the effective worker-pool size of the solve
+	// (SolveBegin/SolveEnd); 1 means sequential evaluation.
+	Parallelism int
+	// Workers is the number of component workers running at emission
+	// time, including the emitter (ComponentBegin/ComponentEnd). Always 1
+	// under sequential evaluation; under the parallel scheduler it is the
+	// live concurrency gauge.
+	Workers int
 	// Err is the failure text for SolveEnd on error, DivergenceWarning
 	// and BudgetBreach.
 	Err string
@@ -108,10 +118,10 @@ type Event struct {
 
 // Sink receives engine events. Implementations must be fast and
 // non-blocking — events are emitted synchronously from the fixpoint
-// loops — and safe for use from the single goroutine driving one solve
-// (the engine itself never emits concurrently, but two solves of two
-// different engines may share a sink, so shared state inside a sink
-// needs its own synchronization).
+// loops. The engine serializes its own emissions (parallel solves wrap
+// the sink in Locked), so a sink sees one event at a time per engine;
+// two solves of two different engines may still share a sink, so shared
+// state inside a sink needs its own synchronization.
 type Sink interface {
 	Event(Event)
 }
@@ -129,6 +139,30 @@ func (m multiSink) Event(e Event) {
 	for _, s := range m {
 		s.Event(e)
 	}
+}
+
+// lockedSink serializes events from concurrently emitting goroutines.
+type lockedSink struct {
+	mu sync.Mutex
+	s  Sink
+}
+
+func (l *lockedSink) Event(e Event) {
+	l.mu.Lock()
+	l.s.Event(e)
+	l.mu.Unlock()
+}
+
+// Locked wraps s so concurrent emitters serialize on a mutex, letting
+// single-goroutine sinks survive the parallel fixpoint scheduler
+// unchanged. A nil sink stays nil, preserving the engine's fast path.
+// Event order within one component is preserved; events of concurrently
+// evaluating components interleave.
+func Locked(s Sink) Sink {
+	if s == nil {
+		return nil
+	}
+	return &lockedSink{s: s}
 }
 
 // Multi composes sinks: nil sinks are dropped, and the result is nil

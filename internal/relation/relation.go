@@ -7,12 +7,27 @@
 // extension is stored (§2.3.3): for a default-value cost predicate,
 // tuples carrying the default (bottom) value are virtual and looked up via
 // GetOrDefault.
+//
+// # Concurrency: the frozen-snapshot contract
+//
+// Relations are single-writer structures: no Insert* call may overlap any
+// other call on the same relation. Once a relation is frozen — no writer
+// mutates it for the duration — any number of goroutines may read it
+// concurrently (Get, GetOrDefault, Each, Rows, Match, Leq, Equal). This
+// includes Match, whose lazily built hash indexes are published through an
+// atomic copy-on-write pointer so that concurrent readers racing to build
+// the same index are safe. The parallel fixpoint scheduler in internal/core
+// relies on exactly this contract: completed lower components are frozen and
+// shared by pointer across workers, while each in-progress component writes
+// only to private clones.
 package relation
 
 import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/ast"
 	"repro/internal/lattice"
@@ -33,9 +48,20 @@ type Relation struct {
 	keys []string       // insertion order, for deterministic iteration
 	rows map[string]int // key -> index into keys/data
 	data []Row
-	// indexes maps a bound-position bitmask to (projection key -> row
-	// indices). Indexes are built lazily and maintained on insert.
-	indexes map[uint64]map[string][]int
+	// idx holds the lazily built hash indexes: a bound-position bitmask
+	// maps to (projection key -> row indices in insertion order). The
+	// outer map is immutable once published; adding an index for a new
+	// mask copies it and swaps the pointer, so frozen relations can be
+	// read — and have indexes built — by many goroutines at once. The
+	// inner maps are mutated in place only by insertNew, which the
+	// single-writer contract keeps exclusive of all readers.
+	idx     atomic.Pointer[indexSet]
+	buildMu sync.Mutex // serializes concurrent lazy index builds
+}
+
+// indexSet is the immutable collection of per-mask indexes; see Relation.idx.
+type indexSet struct {
+	byMask map[uint64]map[string][]int
 }
 
 // New creates an empty relation with the given schema.
@@ -140,9 +166,11 @@ func (r *Relation) insertNew(k string, args []val.T, cost lattice.Elem) {
 	r.rows[k] = idx
 	r.keys = append(r.keys, k)
 	r.data = append(r.data, row)
-	for mask, ix := range r.indexes {
-		pk := projKey(row.Args, mask)
-		ix[pk] = append(ix[pk], idx)
+	if is := r.idx.Load(); is != nil {
+		for mask, ix := range is.byMask {
+			pk := projKey(row.Args, mask)
+			ix[pk] = append(ix[pk], idx)
+		}
 	}
 }
 
@@ -202,7 +230,11 @@ func projKey(args []val.T, mask uint64) string {
 
 // Match calls f on each row whose non-cost arguments agree with pattern
 // (nil entries are wildcards). When at least one position is bound, a hash
-// index on the bound positions is built lazily and consulted.
+// index on the bound positions is built lazily and consulted. Rows are
+// visited in insertion order, whether or not an index exists. Match is safe
+// for concurrent readers on a frozen relation (see the package doc); the
+// lazy index build is published copy-on-write so racing readers never
+// observe a partially built index.
 func (r *Relation) Match(pattern []*val.T, f func(Row) bool) {
 	var mask uint64
 	for i, p := range pattern {
@@ -214,17 +246,12 @@ func (r *Relation) Match(pattern []*val.T, f func(Row) bool) {
 		r.Each(f)
 		return
 	}
-	if r.indexes == nil {
-		r.indexes = map[uint64]map[string][]int{}
+	var ix map[string][]int
+	if is := r.idx.Load(); is != nil {
+		ix = is.byMask[mask]
 	}
-	ix, ok := r.indexes[mask]
-	if !ok {
-		ix = map[string][]int{}
-		for i := range r.data {
-			pk := projKey(r.data[i].Args, mask)
-			ix[pk] = append(ix[pk], i)
-		}
-		r.indexes[mask] = ix
+	if ix == nil {
+		ix = r.buildIndex(mask)
 	}
 	var b strings.Builder
 	for i, p := range pattern {
@@ -247,6 +274,34 @@ func (r *Relation) Match(pattern []*val.T, f func(Row) bool) {
 			return
 		}
 	}
+}
+
+// buildIndex constructs the hash index for mask and publishes it
+// copy-on-write. Concurrent builders serialize on buildMu; each re-checks
+// under the lock so the index is built at most once. Readers that loaded
+// the previous indexSet keep using it unharmed — the old inner maps are
+// never mutated by a build.
+func (r *Relation) buildIndex(mask uint64) map[string][]int {
+	r.buildMu.Lock()
+	defer r.buildMu.Unlock()
+	if is := r.idx.Load(); is != nil {
+		if ix, ok := is.byMask[mask]; ok {
+			return ix
+		}
+	}
+	ix := map[string][]int{}
+	for i := range r.data {
+		pk := projKey(r.data[i].Args, mask)
+		ix[pk] = append(ix[pk], i)
+	}
+	next := &indexSet{byMask: map[uint64]map[string][]int{mask: ix}}
+	if is := r.idx.Load(); is != nil {
+		for m, v := range is.byMask {
+			next.byMask[m] = v
+		}
+	}
+	r.idx.Store(next)
+	return ix
 }
 
 // Clone returns a deep-enough copy (rows are copied; values are immutable).

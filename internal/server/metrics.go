@@ -48,10 +48,13 @@ type metrics struct {
 	modelSize    *obs.GaugeVec
 	modelVersion *obs.GaugeVec
 	// Per-program engine gauges, fed from the engine's event stream:
-	// cumulative rounds/firings/derived of the published model chain.
+	// cumulative rounds/firings/derived of the published model chain,
+	// plus the live parallel-scheduler worker count (0 between solves
+	// and for sequential runs).
 	engineRounds  *obs.GaugeVec
 	engineFirings *obs.GaugeVec
 	engineDerived *obs.GaugeVec
+	engineWorkers *obs.GaugeVec
 
 	// endpoints is the JSON view; fixed at construction (known set plus
 	// "other"), so observe reads it without locking.
@@ -88,6 +91,8 @@ func newMetrics() *metrics {
 			"Cumulative rule firings behind the published model, by program.", "program"),
 		engineDerived: reg.NewGaugeVec("mdl_engine_derived",
 			"Cumulative derivations behind the published model, by program.", "program"),
+		engineWorkers: reg.NewGaugeVec("mdl_engine_active_workers",
+			"Components being evaluated concurrently right now, by program (0 when idle or sequential).", "program"),
 		endpoints: map[string]*endpointStats{},
 	}
 	reg.NewGaugeVec("mdl_build_info",
@@ -153,12 +158,18 @@ func (m *metrics) programSink(program string) datalog.EventSink {
 	rounds := m.engineRounds.With(program)
 	firings := m.engineFirings.With(program)
 	derived := m.engineDerived.With(program)
+	workers := m.engineWorkers.With(program)
 	return datalog.SinkFunc(func(e datalog.Event) {
 		switch e.Kind {
 		case datalog.EventRoundEnd:
 			rounds.Add(1)
 			firings.Add(float64(e.Firings))
 			derived.Add(float64(e.Derived))
+		case datalog.EventComponentBegin, datalog.EventComponentEnd:
+			// Parallel-scheduler events carry the live worker count;
+			// sequential solves leave it at 0. The engine serializes
+			// sink calls, so Set sees a consistent gauge.
+			workers.Set(float64(e.Workers))
 		case datalog.EventSolveEnd:
 			// SolveEnd carries the authoritative cumulative totals
 			// (seeded across warm starts and assert chains); snap the
@@ -166,6 +177,7 @@ func (m *metrics) programSink(program string) datalog.EventSink {
 			rounds.Set(float64(e.Round))
 			firings.Set(float64(e.Firings))
 			derived.Set(float64(e.Derived))
+			workers.Set(0)
 		}
 	})
 }

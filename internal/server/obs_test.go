@@ -51,6 +51,9 @@ func TestMetricsPrometheusText(t *testing.T) {
 		`mdl_http_request_duration_seconds_count{endpoint="/v1/query"} 1`,
 		`mdl_program_model_version{program="sp"} 1`,
 		`mdl_engine_firings{program="sp"}`,
+		// The worker gauge must read 0 between solves whatever the
+		// engine's parallelism during materialization.
+		`mdl_engine_active_workers{program="sp"} 0`,
 		"# TYPE mdl_build_info gauge",
 	} {
 		if !strings.Contains(body, want) {

@@ -1,0 +1,102 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/datalog"
+	"repro/internal/faults"
+)
+
+// TestParallelEngineServeStress drives the server with the parallel
+// engine explicitly enabled: concurrent HTTP readers (queries, explain,
+// metrics scrapes) race against an assert writer while every solve runs
+// on the multi-worker scheduler. Run with -race (the Makefile race
+// target does); any unsynchronized state shared between scheduler
+// workers and the lock-free read path surfaces here.
+func TestParallelEngineServeStress(t *testing.T) {
+	src := loadExample(t, "shortestpath.mdl")
+	_, ts := startServer(t, []ProgramSpec{{
+		Name: "sp", Source: src,
+		Options: datalog.Options{Trace: true, Parallelism: 4},
+	}}, Config{})
+
+	const readers = 6
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				switch r % 3 {
+				case 0:
+					if code, resp := post(t, ts.URL+"/v1/query", `{"op":"facts","pred":"s"}`); code != 200 {
+						t.Errorf("query: %d %v", code, resp)
+						return
+					}
+				case 1:
+					if code, resp := post(t, ts.URL+"/v1/explain", `{"pred":"s","args":["a","d"]}`); code != 200 {
+						t.Errorf("explain: %d %v", code, resp)
+						return
+					}
+				case 2:
+					if code, body, _ := getText(t, ts.URL+"/metrics"); code != 200 ||
+						!strings.Contains(body, "mdl_engine_active_workers") {
+						t.Errorf("metrics scrape missing worker gauge")
+						return
+					}
+				}
+			}
+		}(r)
+	}
+
+	for i := 0; i < 12; i++ {
+		body := fmt.Sprintf(`{"facts":[{"pred":"arc","args":["p%d","p%d",1]}]}`, i, i+1)
+		if code, resp := post(t, ts.URL+"/v1/assert", body); code != 200 {
+			t.Fatalf("assert %d: %d %v", i, code, resp)
+		}
+	}
+	close(stop)
+	wg.Wait()
+
+	// The parallel engine must have produced exactly the model the
+	// sequential engine would: spot-check a known shortest path.
+	code, resp := post(t, ts.URL+"/v1/query", `{"op":"cost","pred":"s","args":["a","d"]}`)
+	if code != 200 || resp["cost"] != 4.0 {
+		t.Fatalf("s(a, d) = %v (code %d), want cost 4", resp, code)
+	}
+}
+
+// TestWorkerPanicNoPartialPublish: a worker crash during parallel
+// materialization must fail Materialize with the structured ErrInternal
+// and must not publish any model — readers can never observe a
+// half-evaluated interpretation.
+func TestWorkerPanicNoPartialPublish(t *testing.T) {
+	src := loadExample(t, "shortestpath.mdl")
+	s, err := New([]ProgramSpec{{
+		Name: "sp", Source: src,
+		Options: datalog.Options{Parallelism: 4},
+	}}, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	faults.Arm(faults.Fault{Point: faults.CoreParallelWorker, Panic: true, Sticky: true})
+	defer faults.Reset()
+	if err := s.Materialize(context.Background()); !errors.Is(err, datalog.ErrInternal) {
+		t.Fatalf("materialize err = %v, want ErrInternal", err)
+	}
+	if st := s.svcs["sp"].cur.Load(); st != nil {
+		t.Fatalf("partial model published after worker crash: version %d", st.version)
+	}
+}

@@ -1,0 +1,83 @@
+// Parallel-engine benchmarks: the canonical solve workload across
+// worker counts (bounding the overhead of the parallel machinery on a
+// single component chain), and a multi-SCC workload where independent
+// components give the scheduler real concurrency to exploit. See
+// docs/PERFORMANCE.md for recorded results and methodology.
+package repro_test
+
+import (
+	"fmt"
+	"runtime"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/programs"
+)
+
+// parallelLevels are the worker counts the recorded tables use:
+// sequential, minimal parallelism, and one worker per CPU.
+func parallelLevels() []int {
+	levels := []int{1, 2}
+	if n := runtime.GOMAXPROCS(0); n > 2 {
+		levels = append(levels, n)
+	}
+	return levels
+}
+
+// BenchmarkSolveAtParallelism is BenchmarkSolve's workload pinned to
+// explicit worker counts. The program is a single component chain, so
+// the scheduler has no component concurrency; par=1 must match the
+// sequential engine and higher counts must stay within noise of it.
+func BenchmarkSolveAtParallelism(b *testing.B) {
+	g := gen.Graph(gen.CycleGraph, 96, 4*96, 9, 96)
+	src := programs.ShortestPath + gen.GraphFacts(g)
+	for _, par := range parallelLevels() {
+		b.Run(fmt.Sprintf("par=%d", par), func(b *testing.B) {
+			en := mustEngine(b, src, core.Options{Limits: core.Limits{Parallelism: par}})
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				solveB(b, en)
+			}
+		})
+	}
+}
+
+// multiSCCSource builds k independent copies of the shortest-path
+// program (distinct predicate names per copy), each over its own cyclic
+// graph: k disjoint component chains the scheduler can run concurrently.
+func multiSCCSource(k, nodes, edges int) string {
+	var sb strings.Builder
+	for i := 0; i < k; i++ {
+		fmt.Fprintf(&sb, ".cost arc%d/3 : minreal.\n", i)
+		fmt.Fprintf(&sb, ".cost path%d/4 : minreal.\n", i)
+		fmt.Fprintf(&sb, ".cost s%d/3 : minreal.\n", i)
+		fmt.Fprintf(&sb, ".ic :- arc%d(direct, Z, C).\n", i)
+		fmt.Fprintf(&sb, "path%d(X, direct, Y, C) :- arc%d(X, Y, C).\n", i, i)
+		fmt.Fprintf(&sb, "path%d(X, Z, Y, C) :- s%d(X, Z, C1), arc%d(Z, Y, C2), C = C1 + C2.\n", i, i, i)
+		fmt.Fprintf(&sb, "s%d(X, Y, C) :- C ?= min D : path%d(X, Z, Y, D).\n", i, i)
+		g := gen.Graph(gen.CycleGraph, nodes, edges, 9, int64(i+1))
+		sb.WriteString(strings.ReplaceAll(gen.GraphFacts(g), "arc(", fmt.Sprintf("arc%d(", i)))
+	}
+	return sb.String()
+}
+
+// BenchmarkSolveParallel is the scheduler's headline workload: eight
+// independent shortest-path components. Sequential evaluation walks
+// them one at a time; the parallel scheduler overlaps them, so par>1
+// should show a wall-clock win roughly bounded by min(k, workers).
+func BenchmarkSolveParallel(b *testing.B) {
+	src := multiSCCSource(8, 64, 4*64)
+	for _, par := range parallelLevels() {
+		b.Run(fmt.Sprintf("par=%d", par), func(b *testing.B) {
+			en := mustEngine(b, src, core.Options{Limits: core.Limits{Parallelism: par}})
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				solveB(b, en)
+			}
+		})
+	}
+}

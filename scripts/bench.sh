@@ -23,9 +23,17 @@ echo "bench: running go test -bench $BENCH_PATTERN ${BENCHTIME:+-benchtime $BENC
 ( cd "$ROOT" && go test . -run '^$' -bench "$BENCH_PATTERN" -benchmem \
     ${BENCHTIME:+-benchtime "$BENCHTIME"} ) | tee "$RAW"
 
+# The engine defaults to one evaluation worker per CPU, so the box's
+# CPU budget is part of the measurement: record GOMAXPROCS (the env
+# override when set, the online CPU count otherwise) alongside the
+# results. Benchmarks pinned to explicit worker counts carry them in
+# their names (BenchmarkSolveParallel/par=2).
+NCPU=$(getconf _NPROCESSORS_ONLN 2>/dev/null || echo 1)
+GMP=${GOMAXPROCS:-$NCPU}
+
 # Parse `BenchmarkName-N  iters  ns/op  B/op  allocs/op` lines into JSON.
-awk -v host="$(uname -sm)" -v go="$(go env GOVERSION)" -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" '
-BEGIN { printf "{\n  \"date\": \"%s\",\n  \"go\": \"%s\",\n  \"host\": \"%s\",\n  \"benchmarks\": [", date, go, host; n = 0 }
+awk -v host="$(uname -sm)" -v go="$(go env GOVERSION)" -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" -v gmp="$GMP" '
+BEGIN { printf "{\n  \"date\": \"%s\",\n  \"go\": \"%s\",\n  \"host\": \"%s\",\n  \"gomaxprocs\": %s,\n  \"default_parallelism\": %s,\n  \"benchmarks\": [", date, go, host, gmp, gmp; n = 0 }
 /^Benchmark/ && /ns\/op/ {
     name = $1; sub(/-[0-9]+$/, "", name)
     ns = ""; bytes = ""; allocs = ""
