@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: all build vet test race fuzz crash-test parallel-test serve-smoke bench bench-smoke bench-smoke-parallel ci clean
+.PHONY: all build vet test race fuzz crash-test parallel-test chaos-test serve-smoke loadgen loadgen-smoke bench bench-smoke bench-smoke-parallel ci clean
 
 all: build
 
@@ -37,10 +37,30 @@ crash-test:
 parallel-test:
 	$(GO) test -race -run 'Parallel|Concurrent' ./datalog ./internal/relation ./internal/server ./cmd/mdl
 
+# Chaos suite for the serve tier under the race detector: group-commit
+# coalescing and poison isolation, admission control and shedding,
+# injected writer stalls / slow solves / failed swaps / checkpoint-sink
+# failures mid-drain, and asserts racing graceful shutdown. The
+# invariants: no lost acks, no partial models, clean drain.
+chaos-test:
+	$(GO) test -race -run 'Chaos|GroupCommit|CommitSolo|AssertQueue|ReadInflight|ReadDeadline|HealthzLiveness|ServeShutdownRacing' ./internal/server ./cmd/mdl
+	$(GO) test -race ./internal/faults
+
 # End-to-end smoke test of the mdl serve subsystem over real HTTP:
 # query, assert, explain, metrics, graceful shutdown, warm restart.
 serve-smoke:
 	sh scripts/serve-smoke.sh
+
+# Load-generator harness: steady + overload phases against a live
+# server; merges p50/p99/error-rate reports into BENCH_<date>.json.
+loadgen:
+	sh scripts/loadgen.sh
+
+# Short loadgen phases against a throwaway BENCH file: proves the
+# harness and the serve tier survive overload without hard errors.
+loadgen-smoke:
+	LOADGEN_DURATION=2s LOADGEN_OVERLOAD_DURATION=1s \
+		LOADGEN_OUT=/tmp/bench-loadgen-smoke.json sh scripts/loadgen.sh
 
 # Full benchmark run; writes BENCH_<date>.json at the repo root.
 bench:
@@ -57,7 +77,7 @@ bench-smoke-parallel:
 	BENCHTIME=1x BENCH_PATTERN='SolveParallel|SolveAtParallelism' \
 		BENCH_OUT=/tmp/bench-smoke-parallel.json sh scripts/bench.sh
 
-ci: vet build race fuzz crash-test parallel-test serve-smoke bench-smoke bench-smoke-parallel
+ci: vet build race fuzz crash-test parallel-test chaos-test serve-smoke loadgen-smoke bench-smoke bench-smoke-parallel
 
 clean:
 	$(GO) clean ./...

@@ -28,15 +28,23 @@
 //	-checkpoint f  warm-start from f when it exists; flush a final
 //	               snapshot to f on graceful shutdown (single program only)
 //	-resume f      warm-start from f, which must exist (single program only)
+//	-assert-queue N   commit-queue depth per program; full queue sheds
+//	                  asserts with 429 (default 64)
+//	-max-inflight N   concurrent reads per program before shedding with
+//	                  503 (0 = unlimited)
+//	-drain-timeout d  shutdown budget for queued assert batches before
+//	                  in-flight commits are canceled (default 10s)
 //	-log-format f  structured request-log format: text (default) or json
 //	-slow-request d  log requests slower than d at warn level (0 = off)
 //	-pprof-addr a  serve net/http/pprof on its own listener at address a
 //
-// SIGINT/SIGTERM shut the server down gracefully: in-flight requests
-// drain, and with -checkpoint set a final snapshot is flushed so the
-// next start resumes the accumulated model. Exit codes match the batch
-// CLI: 0 clean shutdown, 1 usage, 2 parse, 3 static, 4 evaluation
-// failure at startup, 5 checkpoint/restore failure.
+// SIGINT/SIGTERM shut the server down gracefully: admission closes
+// (/readyz flips to 503, new asserts shed), queued assert batches
+// drain — every batch is acked or rejected, never dropped — in-flight
+// requests finish, and with -checkpoint set a final snapshot is
+// flushed so the next start resumes the accumulated model. Exit codes
+// match the batch CLI: 0 clean shutdown, 1 usage, 2 parse, 3 static,
+// 4 evaluation failure at startup, 5 checkpoint/restore failure.
 package main
 
 import (
@@ -75,6 +83,9 @@ func runServe(ctx context.Context, args []string, stdout, stderr io.Writer) int 
 	trace := fs.Bool("trace", true, "record provenance for /v1/explain")
 	ckptPath := fs.String("checkpoint", "", "warm-start from this snapshot when present; flush to it on shutdown")
 	resumePath := fs.String("resume", "", "warm-start from this snapshot (must exist)")
+	assertQueue := fs.Int("assert-queue", 0, "commit-queue depth per program; a full queue sheds asserts with 429 (default 64)")
+	maxInflight := fs.Int("max-inflight", 0, "concurrent reads per program before shedding with 503 (0 = unlimited)")
+	drainTimeout := fs.Duration("drain-timeout", 10*time.Second, "shutdown budget for draining queued assert batches")
 	logFormat := fs.String("log-format", "text", "structured request-log format: text or json")
 	slowReq := fs.Duration("slow-request", 0, "log requests slower than this threshold at warn level (0 = off)")
 	pprofAddr := fs.String("pprof-addr", "", "serve net/http/pprof on this address (separate listener)")
@@ -120,6 +131,15 @@ func runServe(ctx context.Context, args []string, stdout, stderr io.Writer) int 
 	if *slowReq < 0 {
 		return usage("-slow-request must be ≥ 0")
 	}
+	if *assertQueue < 0 {
+		return usage("-assert-queue must be ≥ 0")
+	}
+	if *maxInflight < 0 {
+		return usage("-max-inflight must be ≥ 0")
+	}
+	if *drainTimeout < 0 {
+		return usage("-drain-timeout must be ≥ 0")
+	}
 
 	opts := datalog.Options{
 		Epsilon:     *eps,
@@ -144,7 +164,12 @@ func runServe(ctx context.Context, args []string, stdout, stderr io.Writer) int 
 	// Logging: json replaces the plain Logf lines with structured slog
 	// records (one per request plus notable events); text keeps the
 	// human lines and adds slog request records alongside them.
-	cfg := server.Config{RequestTimeout: *timeout, SlowRequest: *slowReq}
+	cfg := server.Config{
+		RequestTimeout: *timeout,
+		SlowRequest:    *slowReq,
+		AssertQueue:    *assertQueue,
+		MaxInflight:    *maxInflight,
+	}
 	var logf func(format string, a ...any)
 	if *logFormat == "json" {
 		logger := slog.New(slog.NewJSONHandler(stderr, nil))
@@ -190,8 +215,18 @@ func runServe(ctx context.Context, args []string, stdout, stderr io.Writer) int 
 		serveListening(ln.Addr())
 	}
 	httpSrv := &http.Server{Handler: s.Handler()}
+	shutdownDone := make(chan struct{})
 	go func() {
+		defer close(shutdownDone)
 		<-ctx.Done()
+		// Ordered teardown: close admission first (new asserts shed,
+		// /readyz flips to 503), run the commit queues dry so every
+		// batch already accepted is acked or rejected, then close the
+		// listener once the waiting handlers have their outcomes.
+		s.BeginDrain()
+		if !s.Drain(*drainTimeout) {
+			logf("drain deadline (%v) exceeded; in-flight commits canceled", *drainTimeout)
+		}
 		shCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 		defer cancel()
 		_ = httpSrv.Shutdown(shCtx)
@@ -200,12 +235,14 @@ func runServe(ctx context.Context, args []string, stdout, stderr io.Writer) int 
 		fmt.Fprintln(stderr, "mdl serve:", err)
 		return exitEval
 	}
-	// Graceful shutdown: flush a final snapshot so the accumulated model
-	// (initial facts plus every assert) survives the restart.
+	<-shutdownDone
+	// The committers are done: flush a final snapshot so the accumulated
+	// model (initial facts plus every acked assert) survives the restart.
 	if err := s.FlushCheckpoints(); err != nil {
 		fmt.Fprintln(stderr, "mdl serve:", err)
 		return exitCheckpoint
 	}
+	s.Close()
 	logf("shut down cleanly")
 	return exitOK
 }

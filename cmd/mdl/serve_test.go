@@ -13,6 +13,25 @@ import (
 	"time"
 )
 
+// syncBuffer is a strings.Builder safe for the concurrent writes the
+// server's request log makes from handler goroutines.
+type syncBuffer struct {
+	mu sync.Mutex
+	b  strings.Builder
+}
+
+func (w *syncBuffer) Write(p []byte) (int, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.b.Write(p)
+}
+
+func (w *syncBuffer) String() string {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.b.String()
+}
+
 // runServeAsync starts runServe in a goroutine against a random port
 // and returns the base URL once it is accepting connections, plus a
 // shutdown function that cancels the context and returns the exit code.
@@ -20,16 +39,13 @@ func runServeAsync(t *testing.T, args ...string) (string, func() (int, string)) 
 	t.Helper()
 	ctx, cancel := context.WithCancel(context.Background())
 	addrc := make(chan net.Addr, 1)
-	var mu sync.Mutex
 	serveListening = func(a net.Addr) { addrc <- a }
 	t.Cleanup(func() { serveListening = nil })
 
-	var errb strings.Builder
+	var errb syncBuffer
 	codec := make(chan int, 1)
 	go func() {
-		var out strings.Builder
-		mu.Lock()
-		defer mu.Unlock()
+		var out syncBuffer
 		codec <- runServe(ctx, append([]string{"-addr", "127.0.0.1:0"}, args...), &out, &errb)
 	}()
 	select {
@@ -38,8 +54,6 @@ func runServeAsync(t *testing.T, args ...string) (string, func() (int, string)) 
 			cancel()
 			select {
 			case code := <-codec:
-				mu.Lock()
-				defer mu.Unlock()
 				return code, errb.String()
 			case <-time.After(10 * time.Second):
 				t.Fatal("server did not shut down")
@@ -84,6 +98,9 @@ func TestServeUsageErrors(t *testing.T) {
 		{"negative max-rounds", []string{"-max-rounds", "-1", f}},
 		{"negative max-facts", []string{"-max-facts", "-1", f}},
 		{"negative timeout", []string{"-timeout", "-1s", f}},
+		{"negative assert-queue", []string{"-assert-queue", "-1", f}},
+		{"negative max-inflight", []string{"-max-inflight", "-1", f}},
+		{"negative drain-timeout", []string{"-drain-timeout", "-1s", f}},
 		{"checkpoint with several programs", []string{"-checkpoint", "c.ckpt", f, g}},
 		{"resume with several programs", []string{"-resume", "c.ckpt", f, g}},
 		{"missing file", []string{filepath.Join(t.TempDir(), "nope.mdl")}},

@@ -11,11 +11,13 @@
 package faults
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // Well-known failure points. Constants live here (not next to the code
@@ -38,6 +40,27 @@ const (
 	// an armed fault mangles the bytes (truncation by default),
 	// simulating a torn or corrupted file.
 	SnapshotRestoreRead = "snapshot.restore.read"
+	// ServerCommitStall fires at the start of every group-commit drain
+	// in the serve tier, before queued batches are merged. Arm with
+	// Delay to stall the writer so concurrent batches pile up in the
+	// queue (the group-commit and queue-full paths), or with Err to
+	// fail the whole drain.
+	ServerCommitStall = "server.commit.stall"
+	// ServerCommitSolve fires after batches are merged, immediately
+	// before the incremental solve. Arm with Delay for a slow solve
+	// (deadline and backpressure paths) or Err for a failing one.
+	ServerCommitSolve = "server.commit.solve"
+	// ServerCommitPublish fires after a commit's solve has converged,
+	// immediately before the atomic model swap. Arm with Err to
+	// simulate a failed swap: the published model must stay untouched
+	// (no partial generation) and every waiting batch must still get a
+	// definite outcome.
+	ServerCommitPublish = "server.commit.publish"
+	// ServerReadEncode fires on the serve tier's read path before the
+	// response body is encoded. Arm with Delay to simulate a slow
+	// encode so per-request deadlines on read handlers can be
+	// exercised deterministically.
+	ServerReadEncode = "server.read.encode"
 )
 
 // ErrInjected is the default error returned by armed error-mode faults.
@@ -60,6 +83,11 @@ type Fault struct {
 	// Err is the error returned when the fault fires (ErrInjected when
 	// nil). Ignored in Panic mode.
 	Err error
+	// Delay, when positive, makes the fault stall for that long before
+	// acting. A pure stall (Delay set, Err nil, Panic false) returns
+	// nil after sleeping — it models slowness, not failure — while
+	// Delay combined with Err or Panic delays the failure.
+	Delay time.Duration
 	// Mangle transforms bytes passed through Apply when the fault
 	// fires; nil truncates to half length.
 	Mangle func([]byte) []byte
@@ -130,8 +158,18 @@ func hit(point string) (Fault, bool) {
 
 // Check counts a hit at point: it returns the armed error (or panics,
 // in Panic mode) when the fault fires, and nil otherwise. Disarmed
-// points cost one atomic load.
+// points cost one atomic load. A fault with only Delay set stalls and
+// then returns nil.
 func Check(point string) error {
+	return CheckCtx(context.Background(), point)
+}
+
+// CheckCtx is Check with an interruptible stall: a Delay-mode fault
+// sleeps until the delay elapses or ctx is done, whichever comes
+// first, and reports ctx.Err() when cut short. Deadlined code paths
+// (drain timeouts, per-request deadlines) should prefer it so an
+// injected stall cannot outlive the caller's budget.
+func CheckCtx(ctx context.Context, point string) error {
 	if armed.Load() == 0 {
 		return nil
 	}
@@ -139,11 +177,23 @@ func Check(point string) error {
 	if !fired {
 		return nil
 	}
+	if f.Delay > 0 {
+		t := time.NewTimer(f.Delay)
+		select {
+		case <-t.C:
+		case <-ctx.Done():
+			t.Stop()
+			return ctx.Err()
+		}
+	}
 	if f.Panic {
 		panic(fmt.Sprintf("faults: injected panic at %s (hit %d)", f.Point, f.After))
 	}
 	if f.Err != nil {
 		return f.Err
+	}
+	if f.Delay > 0 {
+		return nil
 	}
 	return fmt.Errorf("%w at %s", ErrInjected, point)
 }

@@ -2,8 +2,10 @@ package faults
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"testing"
+	"time"
 )
 
 func TestDisarmedCheckIsNil(t *testing.T) {
@@ -85,6 +87,49 @@ func TestShortWriter(t *testing.T) {
 	}
 	if _, err := w.Write([]byte("x")); !errors.Is(err, ErrInjected) {
 		t.Fatal("exhausted writer must keep failing")
+	}
+}
+
+func TestDelayStallIsNotAFailure(t *testing.T) {
+	Reset()
+	t.Cleanup(Reset)
+	Arm(Fault{Point: "p", Delay: 20 * time.Millisecond, Sticky: true})
+	start := time.Now()
+	if err := Check("p"); err != nil {
+		t.Fatalf("pure stall returned %v, want nil", err)
+	}
+	if elapsed := time.Since(start); elapsed < 20*time.Millisecond {
+		t.Fatalf("stall returned after %v, want >= 20ms", elapsed)
+	}
+}
+
+func TestDelayWithErrDelaysTheFailure(t *testing.T) {
+	Reset()
+	t.Cleanup(Reset)
+	custom := errors.New("slow disk died")
+	Arm(Fault{Point: "p", Delay: 10 * time.Millisecond, Err: custom})
+	start := time.Now()
+	if err := Check("p"); !errors.Is(err, custom) {
+		t.Fatalf("delayed failure = %v, want custom error", err)
+	}
+	if time.Since(start) < 10*time.Millisecond {
+		t.Fatal("failure fired before the delay elapsed")
+	}
+}
+
+func TestCheckCtxInterruptsStall(t *testing.T) {
+	Reset()
+	t.Cleanup(Reset)
+	Arm(Fault{Point: "p", Delay: time.Hour, Sticky: true})
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	err := CheckCtx(ctx, "p")
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("interrupted stall = %v, want DeadlineExceeded", err)
+	}
+	if time.Since(start) > time.Second {
+		t.Fatal("stall was not interrupted by the context")
 	}
 }
 

@@ -1,0 +1,61 @@
+package server
+
+import (
+	"context"
+	"net/http"
+
+	"repro/internal/faults"
+)
+
+// Admission control for the read path. The write path's admission is
+// the bounded commit queue (commit.go); reads are gated here by a
+// per-program in-flight counter so a stampede of expensive scans
+// cannot pile up goroutines without bound. Shed reads answer
+// 503 + Retry-After immediately — the handler never queues.
+
+// acquireRead reserves one read slot on the service, reporting false
+// (and recording the shed) when the per-program in-flight cap is hit.
+// Callers must releaseRead exactly once after a true return.
+func (s *Server) acquireRead(svc *service, endpoint string) bool {
+	if s.cfg.MaxInflight <= 0 {
+		return true
+	}
+	if svc.inflight.Add(1) > int64(s.cfg.MaxInflight) {
+		svc.inflight.Add(-1)
+		s.metrics.shed.With(endpoint, "overloaded").Inc()
+		return false
+	}
+	return true
+}
+
+func (s *Server) releaseRead(svc *service) {
+	if s.cfg.MaxInflight > 0 {
+		svc.inflight.Add(-1)
+	}
+}
+
+// requestContext applies Config.RequestTimeout to a request's context.
+// Every handler — reads included — runs under it, so a slow encode or
+// a stuck solve cannot hold a connection past the configured deadline.
+func (s *Server) requestContext(r *http.Request) (context.Context, context.CancelFunc) {
+	if s.cfg.RequestTimeout <= 0 {
+		return r.Context(), func() {}
+	}
+	return context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+}
+
+// writeJSONCtx writes a success body unless the request deadline has
+// already passed, in which case the client gets the structured
+// cancellation instead of a half-timed-out 200. The fault point
+// simulates a slow encode so the deadline path is testable.
+func writeJSONCtx(ctx context.Context, w http.ResponseWriter, status int, v any) {
+	if err := faults.CheckCtx(ctx, faults.ServerReadEncode); err != nil {
+		writeErr(w, &apiError{Code: "canceled", Message: "request deadline exceeded: " + err.Error(), ExitCode: 4, status: http.StatusServiceUnavailable})
+		return
+	}
+	if err := ctx.Err(); err != nil {
+		writeErr(w, &apiError{Code: "canceled", Message: "request deadline exceeded: " + err.Error(), ExitCode: 4, status: http.StatusServiceUnavailable})
+		return
+	}
+	writeJSON(w, status, v)
+}

@@ -1,0 +1,357 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/datalog"
+	"repro/internal/faults"
+)
+
+// The chaos suite: mixed query/assert/kill traffic against the serve
+// tier with armed fault points (writer stall, slow solve, failed swap,
+// checkpoint-flush errors mid-drain), run under -race by `make
+// chaos-test`. The invariants it defends:
+//
+//   - no lost acks: every batch that enters the commit queue receives
+//     exactly one definite outcome, through stalls, failures and drain
+//     deadlines;
+//   - no partial models: readers only ever observe fully converged
+//     generations, and a failed commit (including a failed swap)
+//     leaves the published model untouched;
+//   - clean drain: shutdown answers everything queued, flushes the
+//     checkpoint, and a warm restart equals a one-shot solve.
+
+// TestChaosMixedTrafficNoLostAcksNoPartialModels hammers a server with
+// concurrent reads and writes while the committer is repeatedly
+// stalled and slowed, then drains mid-traffic. Every acked fact must
+// be in the final model, every read must see a converged generation,
+// and the drained model must equal a one-shot solve over the acked
+// facts.
+func TestChaosMixedTrafficNoLostAcksNoPartialModels(t *testing.T) {
+	faults.Reset()
+	t.Cleanup(faults.Reset)
+	src := loadExample(t, "shortestpath.mdl")
+	ckpt := filepath.Join(t.TempDir(), "sp.ckpt")
+	s, err := New([]ProgramSpec{{Name: "sp", Source: src, Checkpoint: ckpt}},
+		Config{RequestTimeout: 5 * time.Second, AssertQueue: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Materialize(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	url := newTestHTTP(t, s)
+
+	// Every third drain stalls briefly: batches pile up and coalesce.
+	faults.Arm(faults.Fault{Point: faults.ServerCommitStall, Delay: 20 * time.Millisecond, Sticky: true, After: 3})
+
+	const writers, readers = 8, 4
+	const batchesPerWriter = 10
+	var wg, rwg sync.WaitGroup
+	var mu sync.Mutex
+	acked := map[string]bool{} // "i-j" -> acked by a 200
+	shed := 0
+	client := &http.Client{Timeout: 10 * time.Second}
+
+	stopReads := make(chan struct{})
+	for r := 0; r < readers; r++ {
+		rwg.Add(1)
+		go func() {
+			defer rwg.Done()
+			lastVersion, lastCount := 0.0, 0.0
+			for {
+				select {
+				case <-stopReads:
+					return
+				default:
+				}
+				resp, err := client.Post(url+"/v1/query", "application/json",
+					strings.NewReader(`{"op":"facts","pred":"arc"}`))
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				var out map[string]any
+				_ = json.NewDecoder(resp.Body).Decode(&out)
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					t.Errorf("read failed mid-chaos: %d %v", resp.StatusCode, out)
+					return
+				}
+				v, c := out["version"].(float64), out["count"].(float64)
+				// Generations are monotone: a later version never has
+				// fewer arcs (no partial or regressed model published).
+				if v < lastVersion || (v == lastVersion && c != lastCount) || (v > lastVersion && c < lastCount) {
+					t.Errorf("torn or regressed read: version %v count %v after version %v count %v", v, c, lastVersion, lastCount)
+					return
+				}
+				lastVersion, lastCount = v, c
+			}
+		}()
+	}
+
+	for i := 0; i < writers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < batchesPerWriter; j++ {
+				key := fmt.Sprintf("%d-%d", i, j)
+				body := fmt.Sprintf(`{"facts":[{"pred":"arc","args":["w%d","x%s",1]}]}`, i, key)
+				resp, err := client.Post(url+"/v1/assert", "application/json", strings.NewReader(body))
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				var out map[string]any
+				_ = json.NewDecoder(resp.Body).Decode(&out)
+				resp.Body.Close()
+				mu.Lock()
+				switch resp.StatusCode {
+				case http.StatusOK:
+					acked[key] = true
+				case http.StatusTooManyRequests, http.StatusServiceUnavailable:
+					shed++
+				default:
+					t.Errorf("assert %s: unexpected status %d: %v", key, resp.StatusCode, out)
+				}
+				mu.Unlock()
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(stopReads)
+	rwg.Wait()
+
+	// Drain cleanly and flush the checkpoint.
+	if !s.Drain(10 * time.Second) {
+		t.Fatal("drain hit its deadline in a test with no stuck solves")
+	}
+	if err := s.FlushCheckpoints(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Every acked fact is in the final model (no lost acks).
+	st := s.svcs["sp"].current()
+	mu.Lock()
+	ackedKeys := make([]string, 0, len(acked))
+	for key := range acked {
+		ackedKeys = append(ackedKeys, key)
+	}
+	mu.Unlock()
+	if len(ackedKeys) == 0 {
+		t.Fatal("chaos run acked nothing; the test exercised nothing")
+	}
+	for _, key := range ackedKeys {
+		var i int
+		fmt.Sscanf(key, "%d-", &i)
+		if !st.model.Has("arc", datalog.Sym(fmt.Sprintf("w%d", i)), datalog.Sym("x"+key)) {
+			t.Fatalf("acked fact arc(w%d, x%s) missing from drained model", i, key)
+		}
+	}
+
+	// The drained model equals a one-shot solve over seed + acked facts
+	// (group commit and chaos changed nothing semantically), and the
+	// flushed checkpoint warm-restarts to that same model.
+	prog, err := datalog.Load(src, datalog.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var facts []datalog.Fact
+	for _, key := range ackedKeys {
+		var i int
+		fmt.Sscanf(key, "%d-", &i)
+		facts = append(facts, datalog.NewFact("arc", datalog.Sym(fmt.Sprintf("w%d", i)), datalog.Sym("x"+key), datalog.Num(1)))
+	}
+	oneShot, _, err := prog.SolveContext(context.Background(), facts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := st.model.String(), oneShot.String(); got != want {
+		t.Fatalf("drained model differs from one-shot solve:\nserved:\n%s\none-shot:\n%s", got, want)
+	}
+
+	s2, err := New([]ProgramSpec{{Name: "sp", Source: src, Checkpoint: ckpt}}, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s2.Materialize(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(s2.Close)
+	st2 := s2.svcs["sp"].current()
+	if !st2.warm {
+		t.Fatal("restart did not warm-start from the flushed checkpoint")
+	}
+	if got, want := st2.model.String(), oneShot.String(); got != want {
+		t.Fatalf("warm-restarted model differs from one-shot solve:\nrestarted:\n%s\none-shot:\n%s", got, want)
+	}
+	t.Logf("chaos: %d acked, %d shed, final version %d", len(ackedKeys), shed, st.version)
+}
+
+// TestChaosFailedSwapPublishesNothing arms the publish fault: the
+// commit's solve converges but the swap fails. The published model must
+// be byte-identical to before, the client gets a definite 5xx, and the
+// next commit works.
+func TestChaosFailedSwapPublishesNothing(t *testing.T) {
+	faults.Reset()
+	t.Cleanup(faults.Reset)
+	src := loadExample(t, "shortestpath.mdl")
+	s, ts := startServer(t, []ProgramSpec{{Name: "sp", Source: src}}, Config{})
+	svc := s.svcs["sp"]
+	before := svc.current()
+	beforeText := before.model.String()
+
+	faults.Arm(faults.Fault{Point: faults.ServerCommitPublish, Err: errors.New("swap lost the race to a crash")})
+	resp := postRaw(t, ts.URL+"/v1/assert", `{"facts":[{"pred":"arc","args":["d","e",1]}]}`)
+	if resp.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("failed swap returned %d, want 500", resp.StatusCode)
+	}
+
+	after := svc.current()
+	if after != before {
+		t.Fatal("failed swap replaced the published model state")
+	}
+	if after.model.String() != beforeText {
+		t.Fatal("failed swap mutated the published model")
+	}
+
+	// The write path recovers: the same batch commits once disarmed.
+	code, out := post(t, ts.URL+"/v1/assert", `{"facts":[{"pred":"arc","args":["d","e",1]}]}`)
+	if code != http.StatusOK || out["version"] != 2.0 {
+		t.Fatalf("post-fault assert: %d %v", code, out)
+	}
+}
+
+// TestChaosDrainDeadlineStillAcksEverything wedges the committer with
+// a long injected solve stall, queues batches behind it, and drains
+// with a short deadline: Drain must cancel the stuck solve, answer
+// every queued batch, and return false — nothing hangs, nothing is
+// silently dropped.
+func TestChaosDrainDeadlineStillAcksEverything(t *testing.T) {
+	faults.Reset()
+	t.Cleanup(faults.Reset)
+	src := loadExample(t, "shortestpath.mdl")
+	s, err := New([]ProgramSpec{{Name: "sp", Source: src}}, Config{AssertQueue: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Materialize(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	svc := s.svcs["sp"]
+
+	// Every drain stalls for a minute — far past the drain deadline.
+	faults.Arm(faults.Fault{Point: faults.ServerCommitSolve, Delay: time.Minute, Sticky: true})
+
+	const queued = 5
+	reqs := make([]*commitReq, queued)
+	for i := range reqs {
+		reqs[i] = &commitReq{
+			facts: []datalog.Fact{datalog.NewFact("arc", datalog.Sym(fmt.Sprintf("q%d", i)), datalog.Sym("z"), datalog.Num(1))},
+			done:  make(chan commitResult, 1),
+		}
+		if err := svc.enqueue(reqs[i]); err != nil {
+			t.Fatalf("enqueue %d: %v", i, err)
+		}
+	}
+
+	start := time.Now()
+	if clean := s.Drain(200 * time.Millisecond); clean {
+		t.Fatal("drain reported clean despite a wedged committer")
+	}
+	if time.Since(start) > 10*time.Second {
+		t.Fatal("drain took far longer than its deadline")
+	}
+	for i, req := range reqs {
+		select {
+		case res := <-req.done:
+			if res.err == nil {
+				t.Fatalf("batch %d reported success from a canceled drain", i)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatalf("batch %d never received an outcome: ack lost", i)
+		}
+	}
+	// Nothing was published by the canceled drain.
+	if got := svc.current().version; got != 1 {
+		t.Fatalf("canceled drain published version %d", got)
+	}
+}
+
+// TestChaosCheckpointFlushErrorMidDrain drains with asserts still
+// landing and a dying checkpoint sink: the drain itself must still ack
+// everything, FlushCheckpoints must surface the error (exit code 5 at
+// the CLI), and a healthy sink must succeed on retry.
+func TestChaosCheckpointFlushErrorMidDrain(t *testing.T) {
+	faults.Reset()
+	t.Cleanup(faults.Reset)
+	src := loadExample(t, "shortestpath.mdl")
+	ckpt := filepath.Join(t.TempDir(), "sp.ckpt")
+	s, err := New([]ProgramSpec{{Name: "sp", Source: src, Checkpoint: ckpt}},
+		Config{AssertQueue: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Materialize(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	url := newTestHTTP(t, s)
+
+	// Slow each drain slightly so the drain overlaps queued work, then
+	// make the checkpoint sink fail.
+	faults.Arm(faults.Fault{Point: faults.ServerCommitStall, Delay: 20 * time.Millisecond, Sticky: true})
+	faults.Arm(faults.Fault{Point: faults.SnapshotSinkWrite, Err: errors.New("volume gone"), Sticky: true})
+
+	var wg sync.WaitGroup
+	codes := make([]int, 6)
+	for i := range codes {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			body := fmt.Sprintf(`{"facts":[{"pred":"arc","args":["c%d","d%d",1]}]}`, i, i)
+			resp := postRaw(t, url+"/v1/assert", body)
+			codes[i] = resp.StatusCode
+		}(i)
+	}
+	time.Sleep(10 * time.Millisecond)
+	go s.BeginDrain()
+	wg.Wait()
+	if !s.Drain(10 * time.Second) {
+		t.Fatal("drain hit deadline")
+	}
+	for i, code := range codes {
+		if code == 0 {
+			t.Fatalf("assert %d never completed", i)
+		}
+	}
+
+	if err := s.FlushCheckpoints(); err == nil {
+		t.Fatal("FlushCheckpoints swallowed the sink failure")
+	}
+	faults.Disarm(faults.SnapshotSinkWrite)
+	if err := s.FlushCheckpoints(); err != nil {
+		t.Fatalf("flush after sink recovery: %v", err)
+	}
+
+	// The flushed checkpoint restores to exactly the drained model.
+	s2, err := New([]ProgramSpec{{Name: "sp", Source: src, Resume: ckpt}}, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s2.Materialize(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(s2.Close)
+	if got, want := s2.svcs["sp"].current().model.String(), s.svcs["sp"].current().model.String(); got != want {
+		t.Fatal("checkpoint flushed mid-drain does not restore the drained model")
+	}
+}

@@ -24,6 +24,7 @@ func TestConcurrentReadersWithWriter(t *testing.T) {
 	if err := s.Materialize(context.Background()); err != nil {
 		t.Fatal(err)
 	}
+	t.Cleanup(s.Close)
 	svc := s.svcs["sp"]
 
 	const (
@@ -82,11 +83,11 @@ func TestConcurrentReadersWithWriter(t *testing.T) {
 		prev := "d"
 		for i := 0; i < writerBatches; i++ {
 			node := fmt.Sprintf("n%d", i)
-			_, _, err := svc.assert(context.Background(), []datalog.Fact{
+			res := svc.solveAndPublish(context.Background(), []datalog.Fact{
 				datalog.NewFact("arc", datalog.Sym(prev), datalog.Sym(node), datalog.Num(1)),
-			})
-			if err != nil {
-				errc <- fmt.Errorf("assert %d: %w", i, err)
+			}, 1)
+			if res.err != nil {
+				errc <- fmt.Errorf("assert %d: %w", i, res.err)
 				return
 			}
 			prev = node

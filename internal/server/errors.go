@@ -18,6 +18,10 @@ type apiError struct {
 	Message string `json:"message"`
 	// ExitCode is the CLI exit code the same failure would produce.
 	ExitCode int `json:"exit_code"`
+	// RetryAfter is the server's backoff hint in whole seconds, echoed
+	// in the Retry-After header; every 429/503 carries one (see the
+	// client retry contract in docs/SERVER.md).
+	RetryAfter int `json:"retry_after,omitempty"`
 	// status is the HTTP status (not serialized; carried alongside).
 	status int
 }
@@ -29,6 +33,33 @@ func errUsage(msg string) *apiError {
 
 func errNotFound(msg string) *apiError {
 	return &apiError{Code: "not_found", Message: msg, ExitCode: 1, status: http.StatusNotFound}
+}
+
+func errMaterializing() *apiError {
+	return &apiError{Code: "materializing", Message: "model not materialized yet", ExitCode: 4, status: http.StatusServiceUnavailable}
+}
+
+// The admission-control error classes: the server is healthy but
+// refuses the work right now. Clients retry after the hinted backoff.
+func errQueueFullShed(retryAfter int) *apiError {
+	return &apiError{
+		Code: "shed", Message: "assert queue full; retry with backoff",
+		ExitCode: 4, RetryAfter: retryAfter, status: http.StatusTooManyRequests,
+	}
+}
+
+func errDrainingShed() *apiError {
+	return &apiError{
+		Code: "draining", Message: "server is draining; retry against the restarted instance",
+		ExitCode: 4, RetryAfter: 1, status: http.StatusServiceUnavailable,
+	}
+}
+
+func errOverloaded(retryAfter int) *apiError {
+	return &apiError{
+		Code: "overloaded", Message: "read concurrency limit reached; retry with backoff",
+		ExitCode: 4, RetryAfter: retryAfter, status: http.StatusServiceUnavailable,
+	}
 }
 
 // classifySolveError maps an evaluation failure from the datalog facade

@@ -1,13 +1,13 @@
 package server
 
 import (
-	"context"
 	"crypto/rand"
 	"encoding/hex"
 	"encoding/json"
 	"fmt"
 	"net/http"
 	"sort"
+	"strconv"
 	"strings"
 	"time"
 
@@ -20,12 +20,13 @@ const maxBodyBytes = 8 << 20
 
 // Handler returns the HTTP API:
 //
-//	GET  /healthz     liveness and uptime
+//	GET  /healthz     liveness and uptime (200 as long as the process serves)
+//	GET  /readyz      readiness: 503 while materializing or draining
 //	GET  /metrics     Prometheus text exposition (JSON via Accept)
 //	GET  /v1/program  classification, declarations and model info
 //	GET  /v1/stats    per-rule and per-component evaluation breakdowns
 //	POST /v1/query    point lookups (has/cost) and wildcard scans (facts)
-//	POST /v1/assert   batch EDB insertion through the single-writer path
+//	POST /v1/assert   batch EDB insertion through the group-commit queue
 //	POST /v1/explain  derivation trees (requires tracing)
 //
 // Every request — including unknown paths — passes through the
@@ -38,6 +39,7 @@ const maxBodyBytes = 8 << 20
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /readyz", s.handleReadyz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /v1/program", s.handleProgram)
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
@@ -117,6 +119,14 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 }
 
 func writeErr(w http.ResponseWriter, e *apiError) {
+	// Every backpressure-class response (429/503) carries a Retry-After
+	// hint; 1s is the floor when the producer had nothing better.
+	if e.status == http.StatusTooManyRequests || e.status == http.StatusServiceUnavailable {
+		if e.RetryAfter <= 0 {
+			e.RetryAfter = 1
+		}
+		w.Header().Set("Retry-After", strconv.Itoa(e.RetryAfter))
+	}
 	writeJSON(w, e.status, map[string]*apiError{"error": e})
 }
 
@@ -133,22 +143,47 @@ func toStatsJSON(st datalog.Stats) statsJSON {
 	return statsJSON{Components: st.Components, Rounds: st.Rounds, Firings: st.Firings, Derived: st.Derived, Probes: st.Probes}
 }
 
-func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	ready := true
+// readyState classifies the server's readiness: "ok" when every model
+// is published and the server is accepting work, otherwise the reason
+// it is not ("materializing", "draining").
+func (s *Server) readyState() string {
+	if s.Draining() {
+		return "draining"
+	}
 	for _, name := range s.names {
 		if s.svcs[name].current() == nil {
-			ready = false
+			return "materializing"
 		}
 	}
-	status := http.StatusOK
-	state := "ok"
-	if !ready {
-		status, state = http.StatusServiceUnavailable, "materializing"
-	}
-	writeJSON(w, status, map[string]any{
-		"status":         state,
+	return "ok"
+}
+
+// handleHealthz is liveness: 200 as long as the process is serving,
+// whatever the materialization or drain state — restarting a process
+// that is busy materializing only makes overload worse. The body still
+// carries the state for humans; machines gate on /readyz.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":         "ok",
+		"state":          s.readyState(),
 		"uptime_seconds": time.Since(s.start).Seconds(),
 		"programs":       s.names,
+	})
+}
+
+// handleReadyz is readiness: 503 while any program is still
+// materializing and while the server drains, so load balancers stop
+// routing before shutdown completes and never route to a cold start.
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	state := s.readyState()
+	status := http.StatusOK
+	if state != "ok" {
+		status = http.StatusServiceUnavailable
+		w.Header().Set("Retry-After", "1")
+	}
+	writeJSON(w, status, map[string]any{
+		"status":   state,
+		"programs": s.names,
 	})
 }
 
@@ -211,6 +246,8 @@ type componentStatsJSON struct {
 // of the published models, rules sorted hottest-first by cumulative
 // evaluation time. ?name= restricts to one program.
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	ctx, cancel := s.requestContext(r)
+	defer cancel()
 	names := s.names
 	if want := r.URL.Query().Get("name"); want != "" {
 		if _, ok := s.svcs[want]; !ok {
@@ -253,7 +290,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			"components": comps,
 		})
 	}
-	writeJSON(w, http.StatusOK, map[string]any{"programs": out})
+	writeJSONCtx(ctx, w, http.StatusOK, map[string]any{"programs": out})
 }
 
 // predDeclJSON is the wire form of one predicate declaration.
@@ -266,6 +303,8 @@ type predDeclJSON struct {
 }
 
 func (s *Server) handleProgram(w http.ResponseWriter, r *http.Request) {
+	ctx, cancel := s.requestContext(r)
+	defer cancel()
 	names := s.names
 	if want := r.URL.Query().Get("name"); want != "" {
 		if _, ok := s.svcs[want]; !ok {
@@ -306,7 +345,7 @@ func (s *Server) handleProgram(w http.ResponseWriter, r *http.Request) {
 		}
 		out = append(out, info)
 	}
-	writeJSON(w, http.StatusOK, map[string]any{"programs": out})
+	writeJSONCtx(ctx, w, http.StatusOK, map[string]any{"programs": out})
 }
 
 // queryRequest is the /v1/query body.
@@ -327,7 +366,7 @@ func (s *Server) resolve(w http.ResponseWriter, program, pred string) (*service,
 	}
 	st := svc.current()
 	if st == nil {
-		writeErr(w, &apiError{Code: "materializing", Message: "model not materialized yet", ExitCode: 4, status: http.StatusServiceUnavailable})
+		writeErr(w, errMaterializing())
 		return nil, nil, datalog.PredDecl{}, false
 	}
 	if pred == "" {
@@ -352,6 +391,8 @@ func nonCostArity(d datalog.PredDecl) int {
 }
 
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	ctx, cancel := s.requestContext(r)
+	defer cancel()
 	var req queryRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 		writeErr(w, errUsage("bad request body: "+err.Error()))
@@ -361,6 +402,11 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
+	if !s.acquireRead(svc, "/v1/query") {
+		writeErr(w, errOverloaded(1))
+		return
+	}
+	defer s.releaseRead(svc)
 	wildOK := req.Op == "facts"
 	args, err := decodeArgs(req.Args, wildOK)
 	if err != nil {
@@ -405,7 +451,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, errUsage(fmt.Sprintf("unknown op %q (want \"has\", \"cost\" or \"facts\")", req.Op)))
 		return
 	}
-	writeJSON(w, http.StatusOK, resp)
+	writeJSONCtx(ctx, w, http.StatusOK, resp)
 }
 
 // assertRequest is the /v1/assert body: one batch of EDB facts.
@@ -441,7 +487,7 @@ func (s *Server) handleAssert(w http.ResponseWriter, r *http.Request) {
 	}
 	program = svc.name
 	if svc.current() == nil {
-		fail(&apiError{Code: "materializing", Message: "model not materialized yet", ExitCode: 4, status: http.StatusServiceUnavailable})
+		fail(errMaterializing())
 		return
 	}
 	if len(req.Facts) == 0 {
@@ -473,25 +519,52 @@ func (s *Server) handleAssert(w http.ResponseWriter, r *http.Request) {
 		}
 		facts[i] = datalog.NewFact(f.Pred, args...)
 	}
-	ctx := r.Context()
-	if s.cfg.RequestTimeout > 0 {
-		var cancel context.CancelFunc
-		ctx, cancel = context.WithTimeout(ctx, s.cfg.RequestTimeout)
-		defer cancel()
-	}
-	next, stats, err := svc.assert(ctx, facts)
-	if err != nil {
-		fail(classifySolveError(err))
+	// Validation done (parse errors stayed per-batch, above); from here
+	// the batch enters the group-commit path. Admission first: a
+	// draining server or a full queue sheds immediately with a backoff
+	// hint — the queue bound, not the client count, caps commit latency.
+	if s.Draining() {
+		s.metrics.shed.With("/v1/assert", "draining").Inc()
+		fail(errDrainingShed())
 		return
 	}
-	s.metrics.publishModel(svc.name, next.version, next.model.Size())
-	writeJSON(w, http.StatusOK, map[string]any{
-		"program":  svc.name,
-		"version":  next.version,
-		"size":     next.model.Size(),
-		"asserted": len(facts),
-		"stats":    toStatsJSON(stats),
-	})
+	cr := &commitReq{facts: facts, done: make(chan commitResult, 1)}
+	if err := svc.enqueue(cr); err != nil {
+		if err == errDraining {
+			s.metrics.shed.With("/v1/assert", "draining").Inc()
+			fail(errDrainingShed())
+		} else {
+			s.metrics.shed.With("/v1/assert", "queue_full").Inc()
+			fail(errQueueFullShed(svc.retryAfter()))
+		}
+		return
+	}
+	ctx, cancel := s.requestContext(r)
+	defer cancel()
+	select {
+	case res := <-cr.done:
+		if res.err != nil {
+			fail(classifySolveError(res.err))
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]any{
+			"program":   svc.name,
+			"version":   res.state.version,
+			"size":      res.state.model.Size(),
+			"asserted":  len(facts),
+			"coalesced": res.coalesced,
+			"stats":     toStatsJSON(res.stats),
+		})
+	case <-ctx.Done():
+		// The batch stays owned by the committer and will still be
+		// committed or rejected; only this wait gave up. Clients see the
+		// group-commit ambiguity window documented in docs/SERVER.md and
+		// should reconcile via the model version on retry.
+		fail(&apiError{
+			Code: "canceled", Message: "request deadline exceeded while awaiting commit; the batch may still commit",
+			ExitCode: 4, RetryAfter: svc.retryAfter(), status: http.StatusServiceUnavailable,
+		})
+	}
 }
 
 // explainRequest is the /v1/explain body.
@@ -503,6 +576,8 @@ type explainRequest struct {
 }
 
 func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
+	ctx, cancel := s.requestContext(r)
+	defer cancel()
 	var req explainRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 		writeErr(w, errUsage("bad request body: "+err.Error()))
@@ -512,6 +587,11 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
+	if !s.acquireRead(svc, "/v1/explain") {
+		writeErr(w, errOverloaded(1))
+		return
+	}
+	defer s.releaseRead(svc)
 	if !svc.spec.Options.Trace {
 		writeErr(w, &apiError{Code: "tracing_disabled", Message: "program served without tracing; restart with tracing enabled for derivation trees", ExitCode: 1, status: http.StatusConflict})
 		return
@@ -547,6 +627,6 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 		resp["supports"] = []string{}
 		resp["tree"] = ""
 	}
-	writeJSON(w, http.StatusOK, resp)
+	writeJSONCtx(ctx, w, http.StatusOK, resp)
 }
 

@@ -21,8 +21,13 @@ var latencyBuckets = []float64{0.001, 0.005, 0.025, 0.1, 0.5, 2.5, 10}
 // set — unknown paths, bad methods — are recorded under "other" rather
 // than silently dropped.
 var metricEndpoints = []string{
-	"/healthz", "/metrics", "/v1/assert", "/v1/explain", "/v1/program", "/v1/query", "/v1/stats",
+	"/healthz", "/metrics", "/readyz", "/v1/assert", "/v1/explain", "/v1/program", "/v1/query", "/v1/stats",
 }
+
+// commitBatchBuckets are the histogram upper bounds for batches per
+// group-commit drain: 1 means no coalescing; anything above it is the
+// write path absorbing concurrency.
+var commitBatchBuckets = []float64{1, 2, 4, 8, 16, 32, 64, 128}
 
 // otherEndpoint aggregates traffic on unknown paths (404s and method
 // mismatches), so scans and misconfigured clients stay visible.
@@ -43,6 +48,17 @@ type metrics struct {
 	// assertOutcomes counts /v1/assert results by program and outcome
 	// ("ok" or the structured error code: parse, budget, diverged, …).
 	assertOutcomes *obs.CounterVec
+	// shed counts admission-control rejections by endpoint and reason
+	// (queue_full, draining, overloaded) — load the server refused
+	// rather than queued.
+	shed *obs.CounterVec
+	// queueDepth is the current commit-queue depth by program;
+	// commitBatch the batches-per-drain histogram (values above 1 are
+	// group commit absorbing concurrent writers); commitIsolated counts
+	// batches re-committed alone after a failed merged solve.
+	queueDepth     *obs.GaugeVec
+	commitBatch    *obs.HistogramVec
+	commitIsolated *obs.CounterVec
 	// Per-program model gauges, updated when a new model generation is
 	// published (materialize or a successful assert).
 	modelSize    *obs.GaugeVec
@@ -81,6 +97,14 @@ func newMetrics() *metrics {
 			"Request latency in seconds, by endpoint.", latencyBuckets, "endpoint"),
 		assertOutcomes: reg.NewCounterVec("mdl_assert_outcomes_total",
 			"Assert batches, by program and outcome (ok or error kind).", "program", "outcome"),
+		shed: reg.NewCounterVec("mdl_shed_total",
+			"Requests rejected by admission control, by endpoint and reason.", "endpoint", "reason"),
+		queueDepth: reg.NewGaugeVec("mdl_assert_queue_depth",
+			"Assert batches currently queued for group commit, by program.", "program"),
+		commitBatch: reg.NewHistogramVec("mdl_commit_batch_size",
+			"Assert batches coalesced per group-commit drain, by program.", commitBatchBuckets, "program"),
+		commitIsolated: reg.NewCounterVec("mdl_commit_isolated_total",
+			"Batches re-committed alone after a failed merged solve, by program.", "program"),
 		modelSize: reg.NewGaugeVec("mdl_program_model_size",
 			"Stored tuples in the published model, by program.", "program"),
 		modelVersion: reg.NewGaugeVec("mdl_program_model_version",

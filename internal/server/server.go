@@ -11,16 +11,28 @@
 //     facade call used by the read path (Has, Cost, Facts, Match, Size,
 //     Stats) is documented lock-free-safe for concurrent readers.
 //
-//   - Writes (/v1/assert) go through a single-writer path per program:
-//     a mutex serializes batches, each batch runs SolveMoreContext
-//     against the current model (producing a fresh extended model — the
-//     old one is never mutated), and the new model is atomically swapped
-//     in only after it has converged. Concurrent readers therefore
-//     observe either the old least model or the new one, never a partial
-//     interpretation. Soundness is the checkpoint/resume argument of
-//     monotonic aggregation: adding EDB facts only grows the least model,
-//     so the old model is a valid intermediate interpretation of the new
-//     fixpoint (Ross & Sagiv, Corollary 3.5 plus monotonicity of T_P).
+//   - Writes (/v1/assert) go through a group-committed single-writer
+//     path per program: validated batches enter a bounded commit queue,
+//     and one committer goroutine drains the queue in groups — the
+//     merged facts of a drain run through ONE SolveMoreContext call
+//     (producing a fresh extended model — the old one is never mutated)
+//     and the result is atomically swapped in only after it has
+//     converged, publishing one merged generation. Concurrent readers
+//     therefore observe either the old least model or the new one,
+//     never a partial interpretation. Coalescing is sound by the same
+//     monotonicity that makes checkpoint/resume sound: adding EDB facts
+//     only grows the least model and the least model of a union of
+//     deltas does not depend on how the deltas are grouped (Ross &
+//     Sagiv, Corollary 3.5 plus monotonicity of T_P). Each batch in a
+//     drain still receives its own outcome: a batch the merged solve
+//     cannot absorb (non-monotone insertion, a budget only it breaches)
+//     is retried alone so it cannot poison its neighbors.
+//
+//   - Admission control keeps overload from queueing unboundedly: a
+//     full commit queue sheds new asserts with 429 + Retry-After, a
+//     draining server sheds them with 503, and Config.MaxInflight caps
+//     concurrently executing reads per program. Reads keep serving the
+//     published model at full speed while the write path sheds.
 //
 //   - /v1/explain also serializes with the writer: derivation traces
 //     live in the engine and are updated during solves, so explains
@@ -48,10 +60,19 @@ import (
 
 // Config tunes the server; the zero value is a good default.
 type Config struct {
-	// RequestTimeout bounds each request's handler (solve deadlines for
-	// asserts, encode time for large reads). 0 means no per-request
-	// deadline beyond the program's own MaxDuration.
+	// RequestTimeout bounds each request's handler: the solve of every
+	// commit, and the wait + encode time of every read. 0 means no
+	// per-request deadline beyond the program's own MaxDuration.
 	RequestTimeout time.Duration
+	// AssertQueue bounds the per-program commit queue (admission
+	// capacity of the write path). When the queue is full new batches
+	// are shed with 429 instead of queueing without bound. 0 selects
+	// the default (64).
+	AssertQueue int
+	// MaxInflight caps concurrently executing read requests per
+	// program (/v1/query, /v1/explain); excess requests are shed with
+	// 503 + Retry-After. 0 means unlimited.
+	MaxInflight int
 	// Logf receives one line per notable event (nil = silent).
 	Logf func(format string, args ...any)
 	// Logger, when non-nil, receives one structured record per request
@@ -96,12 +117,28 @@ type service struct {
 	name string
 	prog *datalog.Program
 	spec ProgramSpec
+	srv  *Server
 	// cur is the currently published model; readers Load it and never
-	// lock. Writers replace it wholesale under writeMu.
+	// lock. The committer replaces it wholesale under writeMu.
 	cur atomic.Pointer[modelState]
-	// writeMu serializes the single-writer path: asserts, explains
+	// writeMu serializes the single-writer path: commits, explains
 	// (traces live in the engine) and checkpoint flushes.
 	writeMu sync.Mutex
+	// queue is the bounded commit queue; handlers enqueue validated
+	// batches, commitLoop drains them in groups (see commit.go). qmu
+	// guards qclosed so BeginDrain can stop admission without racing a
+	// send on the closed channel.
+	queue         chan *commitReq
+	qmu           sync.RWMutex
+	qclosed       bool
+	committerUp   atomic.Bool
+	committerDone chan struct{}
+	// solveNanos is the EWMA of recent commit solve durations, feeding
+	// Retry-After estimates.
+	solveNanos atomic.Int64
+	// inflight counts currently executing read requests for the
+	// MaxInflight admission gate.
+	inflight atomic.Int64
 	// arity maps predicate name -> non-cost arity for every declared
 	// predicate, fixed at load time (so the read path never consults —
 	// or lazily extends — mutable schema state).
@@ -115,6 +152,14 @@ type Server struct {
 	names   []string // sorted service names
 	start   time.Time
 	metrics *metrics
+	// draining flips once at shutdown: readiness goes 503 and new
+	// assert batches are shed while queued ones drain.
+	draining atomic.Bool
+	// drainCtx is the base context of every commit solve; drainCancel
+	// fires when a drain deadline expires (or on Close), so stuck
+	// commits abort instead of wedging shutdown.
+	drainCtx    context.Context
+	drainCancel context.CancelFunc
 }
 
 // New loads every program spec (reporting load errors immediately, with
@@ -130,6 +175,7 @@ func New(specs []ProgramSpec, cfg Config) (*Server, error) {
 		start:   time.Now(),
 		metrics: newMetrics(),
 	}
+	s.drainCtx, s.drainCancel = context.WithCancel(context.Background())
 	for _, spec := range specs {
 		if spec.Name == "" {
 			return nil, fmt.Errorf("server: program with empty name")
@@ -146,7 +192,15 @@ func New(specs []ProgramSpec, cfg Config) (*Server, error) {
 		if err != nil {
 			return nil, fmt.Errorf("server: program %s: %w", spec.Name, err)
 		}
-		svc := &service{name: spec.Name, prog: p, spec: spec, decls: map[string]datalog.PredDecl{}}
+		svc := &service{
+			name:          spec.Name,
+			prog:          p,
+			spec:          spec,
+			srv:           s,
+			queue:         make(chan *commitReq, cfg.queueCap()),
+			committerDone: make(chan struct{}),
+			decls:         map[string]datalog.PredDecl{},
+		}
 		for _, d := range p.Predicates() {
 			// On a name collision across arities keep the first (sorted)
 			// declaration; query handlers resolve by name only.
@@ -179,7 +233,9 @@ func (s *Server) logf(format string, args ...any) {
 }
 
 // Materialize computes (or warm-starts) the least model of every
-// service. It must complete before the handler serves queries.
+// service and starts its committer. It must complete before the
+// handler serves queries; pair it with Drain (or Close) to stop the
+// committers.
 func (s *Server) Materialize(ctx context.Context) error {
 	for _, name := range s.names {
 		svc := s.svcs[name]
@@ -190,6 +246,8 @@ func (s *Server) Materialize(ctx context.Context) error {
 		}
 		svc.cur.Store(&modelState{model: m, version: 1, warm: warm})
 		s.metrics.publishModel(name, 1, m.Size())
+		svc.committerUp.Store(true)
+		go svc.commitLoop()
 		how := "solved"
 		if warm {
 			how = "warm-started"
@@ -235,21 +293,70 @@ func (svc *service) materialize(ctx context.Context) (*datalog.Model, bool, erro
 // current returns the published model state (nil before Materialize).
 func (svc *service) current() *modelState { return svc.cur.Load() }
 
-// assert runs one batch of EDB facts through the single-writer path:
-// serialize, extend the current model with SolveMoreContext, and swap
-// the converged result in atomically. On any error the published model
-// is left untouched and the error is returned for status mapping.
-func (svc *service) assert(ctx context.Context, facts []datalog.Fact) (*modelState, datalog.Stats, error) {
-	svc.writeMu.Lock()
-	defer svc.writeMu.Unlock()
-	cur := svc.cur.Load()
-	m, stats, err := svc.prog.SolveMoreContext(ctx, cur.model, facts)
-	if err != nil {
-		return nil, stats, err
+// Draining reports whether shutdown has begun (readiness is 503 and
+// new assert batches are shed while the queues empty).
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// BeginDrain flips the server into draining mode: /readyz answers 503,
+// new assert batches are rejected, and the committers run the queues
+// dry. Idempotent; it does not wait — see Drain.
+func (s *Server) BeginDrain() {
+	if s.draining.Swap(true) {
+		return
 	}
-	next := &modelState{model: m, version: cur.version + 1, warm: cur.warm}
-	svc.cur.Store(next)
-	return next, stats, nil
+	s.logf("draining: admission closed, %d program queue(s) emptying", len(s.names))
+	for _, name := range s.names {
+		s.svcs[name].closeQueue()
+	}
+}
+
+// Drain begins the drain (if not already begun) and waits for every
+// queued batch to be answered. After timeout (when positive) the drain
+// context is canceled, so in-flight commit solves abort cooperatively
+// and remaining batches are answered with the cancellation — every ack
+// is still delivered, none are lost. Returns true if the drain
+// completed without hitting the deadline.
+func (s *Server) Drain(timeout time.Duration) bool {
+	s.BeginDrain()
+	clean := true
+	var deadline <-chan time.Time
+	if timeout > 0 {
+		tm := time.NewTimer(timeout)
+		defer tm.Stop()
+		deadline = tm.C
+	}
+	for _, name := range s.names {
+		svc := s.svcs[name]
+		if !svc.committerUp.Load() {
+			continue
+		}
+		select {
+		case <-svc.committerDone:
+		case <-deadline:
+			clean = false
+			s.logf("drain deadline hit; canceling in-flight commits")
+			s.drainCancel()
+			<-svc.committerDone
+		}
+	}
+	if clean {
+		s.logf("drained cleanly")
+	}
+	return clean
+}
+
+// Close shuts the write path down immediately: any in-flight commit is
+// canceled and every queued batch is answered with the cancellation.
+// For tests and abrupt teardown; graceful shutdown wants Drain.
+func (s *Server) Close() {
+	s.BeginDrain()
+	s.drainCancel()
+	for _, name := range s.names {
+		svc := s.svcs[name]
+		if svc.committerUp.Load() {
+			<-svc.committerDone
+		}
+	}
 }
 
 // explain renders a derivation under the writer mutex (traces live in

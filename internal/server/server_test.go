@@ -25,7 +25,10 @@ func startServer(t testing.TB, specs []ProgramSpec, cfg Config) (*Server, *httpt
 		t.Fatal(err)
 	}
 	ts := httptest.NewServer(s.Handler())
-	t.Cleanup(ts.Close)
+	t.Cleanup(func() {
+		ts.Close()
+		s.Close()
+	})
 	return s, ts
 }
 

@@ -27,15 +27,15 @@ type FileSink struct {
 
 // Write persists one checkpoint.
 func (fs *FileSink) Write(s *Snapshot) error {
-	if err := faults.Check(faults.SnapshotSinkWrite); err != nil {
-		return fmt.Errorf("snapshot: sink write failed: %w", err)
-	}
 	return WriteFile(fs.Path, s)
 }
 
 // WriteFile writes one snapshot to path via the same atomic
 // write-to-temp-then-rename protocol as FileSink.
 func WriteFile(path string, s *Snapshot) error {
+	if err := faults.Check(faults.SnapshotSinkWrite); err != nil {
+		return fmt.Errorf("snapshot: sink write failed: %w", err)
+	}
 	data := Encode(s)
 	dir := filepath.Dir(path)
 	tmp, err := os.CreateTemp(dir, ".snap-*.tmp")

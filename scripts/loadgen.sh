@@ -1,0 +1,81 @@
+#!/bin/sh
+# Load-generator harness for the serve tier: build mdl and mdlload,
+# start a server over the shortest-path example, drive a steady phase
+# at a sustainable rate and an overload phase well past the admission
+# limits, and merge both reports into BENCH_<date>.json at the repo
+# root. The overload phase is expected to shed (429/503) — the harness
+# fails only if requests hard-fail or the steady phase can't hold its
+# rate.
+#
+#   scripts/loadgen.sh                    # default: 10s steady + 5s overload
+#   LOADGEN_DURATION=2s LOADGEN_OVERLOAD_DURATION=1s scripts/loadgen.sh   # smoke
+set -eu
+
+ROOT=$(cd "$(dirname "$0")/.." && pwd)
+WORK=$(mktemp -d)
+PORT=${LOADGEN_PORT:-8319}
+ADDR="127.0.0.1:$PORT"
+BASE="http://$ADDR"
+LOG="$WORK/serve.log"
+OUT=${LOADGEN_OUT:-"$ROOT/BENCH_$(date +%Y%m%d).json"}
+DURATION=${LOADGEN_DURATION:-10s}
+RATE=${LOADGEN_RATE:-300}
+OVER_DURATION=${LOADGEN_OVERLOAD_DURATION:-5s}
+OVER_RATE=${LOADGEN_OVERLOAD_RATE:-2000}
+PID=""
+
+cleanup() {
+    [ -n "$PID" ] && kill "$PID" 2>/dev/null || true
+    rm -rf "$WORK"
+}
+trap cleanup EXIT INT TERM
+
+fail() {
+    echo "loadgen: FAIL: $1" >&2
+    [ -f "$LOG" ] && tail -20 "$LOG" | sed 's/^/loadgen:   server: /' >&2
+    exit 1
+}
+
+echo "loadgen: building mdl and mdlload"
+( cd "$ROOT" && go build -o "$WORK/mdl" ./cmd/mdl && go build -o "$WORK/mdlload" ./cmd/mdlload )
+
+# Tight admission limits so the overload phase actually sheds.
+echo "loadgen: starting server on $ADDR"
+"$WORK/mdl" serve -addr "$ADDR" -assert-queue 32 -max-inflight 64 \
+    "$ROOT/examples/programs/shortestpath.mdl" >"$LOG" 2>&1 &
+PID=$!
+
+i=0
+until curl -sf "$BASE/readyz" >/dev/null 2>&1; do
+    i=$((i + 1))
+    [ "$i" -lt 100 ] || fail "server did not become ready"
+    kill -0 "$PID" 2>/dev/null || fail "server exited early"
+    sleep 0.1
+done
+
+echo "loadgen: steady phase ($DURATION at $RATE req/s)"
+"$WORK/mdlload" -url "$BASE" -duration "$DURATION" -rate "$RATE" \
+    -assert-frac 0.1 -label steady -out "$OUT" >"$WORK/steady.json" \
+    || fail "steady phase failed"
+
+echo "loadgen: overload phase ($OVER_DURATION at $OVER_RATE req/s)"
+"$WORK/mdlload" -url "$BASE" -duration "$OVER_DURATION" -rate "$OVER_RATE" \
+    -assert-frac 0.3 -label overload -out "$OUT" >"$WORK/overload.json" \
+    || fail "overload phase failed"
+
+# The server must have survived both phases and still be ready.
+kill -0 "$PID" 2>/dev/null || fail "server died under load"
+curl -sf "$BASE/readyz" >/dev/null || fail "server not ready after overload"
+
+# Sanity on the reports without jq: the steady phase must have zero
+# hard errors, and the merged BENCH file must be valid enough to carry
+# both phases.
+grep -q '"errors": 0' "$WORK/steady.json" || fail "steady phase recorded hard errors: $(cat "$WORK/steady.json")"
+grep -q '"label": "steady"' "$OUT" || fail "steady report missing from $OUT"
+grep -q '"label": "overload"' "$OUT" || fail "overload report missing from $OUT"
+
+kill -TERM "$PID"
+wait "$PID" || fail "server exited non-zero on SIGTERM"
+PID=""
+
+echo "loadgen: PASS (reports merged into $OUT)"

@@ -46,17 +46,20 @@ echo "serve-smoke: starting server on $ADDR"
     "$ROOT/examples/programs/shortestpath.mdl" >"$LOG" 2>&1 &
 PID=$!
 
-# Wait for the health endpoint to come up.
+# Wait for readiness: /readyz answers 503 until every program is
+# materialized, so gating on it (not /healthz, which is liveness and
+# always 200) means the first query below cannot race materialization.
 i=0
-until curl -sf "$BASE/healthz" >/dev/null 2>&1; do
+until curl -sf "$BASE/readyz" >/dev/null 2>&1; do
     i=$((i + 1))
-    [ "$i" -lt 100 ] || fail "server did not become healthy"
+    [ "$i" -lt 100 ] || fail "server did not become ready"
     kill -0 "$PID" 2>/dev/null || fail "server exited early"
     sleep 0.1
 done
 
-echo "serve-smoke: healthz"
+echo "serve-smoke: healthz and readyz"
 expect "$(curl -sf "$BASE/healthz")" '"status":"ok"' '"shortestpath"'
+expect "$(curl -sf "$BASE/readyz")" '"status":"ok"'
 
 echo "serve-smoke: query s(a, d) = 4"
 expect "$(curl -sf -d '{"op":"cost","pred":"s","args":["a","d"]}' "$BASE/v1/query")" \
@@ -112,9 +115,9 @@ echo "serve-smoke: restart warm-starts with the asserted fact"
     "$ROOT/examples/programs/shortestpath.mdl" >"$LOG" 2>&1 &
 PID=$!
 i=0
-until curl -sf "$BASE/healthz" >/dev/null 2>&1; do
+until curl -sf "$BASE/readyz" >/dev/null 2>&1; do
     i=$((i + 1))
-    [ "$i" -lt 100 ] || fail "restarted server did not become healthy"
+    [ "$i" -lt 100 ] || fail "restarted server did not become ready"
     sleep 0.1
 done
 grep -q "warm-started" "$LOG" || fail "restart did not warm-start from the checkpoint"
