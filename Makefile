@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: all build vet test race fuzz crash-test parallel-test chaos-test serve-smoke loadgen loadgen-smoke bench bench-smoke bench-smoke-parallel ci clean
+.PHONY: all build vet test race fuzz crash-test parallel-test chaos-test wal-crash-test serve-smoke loadgen loadgen-smoke bench bench-smoke bench-smoke-parallel ci clean
 
 all: build
 
@@ -22,6 +22,7 @@ race:
 fuzz:
 	$(GO) test ./internal/parser -run '^$$' -fuzz '^FuzzParse$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/snapshot -run '^$$' -fuzz '^FuzzSnapshotRoundTrip$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/wal -run '^$$' -fuzz '^FuzzWALDecode$$' -fuzztime $(FUZZTIME)
 
 # Crash-recovery suite under the race detector: fault-injected crashes
 # mid-fixpoint, torn checkpoint files, failing sinks, and the
@@ -45,6 +46,16 @@ parallel-test:
 chaos-test:
 	$(GO) test -race -run 'Chaos|GroupCommit|CommitSolo|AssertQueue|ReadInflight|ReadDeadline|HealthzLiveness|ServeShutdownRacing' ./internal/server ./cmd/mdl
 	$(GO) test -race ./internal/faults
+
+# Durability suite for the write-ahead log under the race detector: the
+# log format and recovering reader (torn tails, mid-log corruption,
+# compaction), the server commit path with injected append/fsync
+# failures, and the binary-level SIGKILL loop — kill `mdl serve -wal`
+# mid-drain under mixed load, restart, and prove no acked batch is lost
+# and the recovered model equals a one-shot solve.
+wal-crash-test:
+	$(GO) test -race -run 'WAL|SeqWatermark|DirSync|Watermark' ./internal/wal ./internal/snapshot ./internal/server ./datalog ./cmd/mdl
+	$(GO) test -race -run 'TestChaosWALSigkillRecovery' -count=1 ./cmd/mdl
 
 # End-to-end smoke test of the mdl serve subsystem over real HTTP:
 # query, assert, explain, metrics, graceful shutdown, warm restart.
@@ -77,7 +88,7 @@ bench-smoke-parallel:
 	BENCHTIME=1x BENCH_PATTERN='SolveParallel|SolveAtParallelism' \
 		BENCH_OUT=/tmp/bench-smoke-parallel.json sh scripts/bench.sh
 
-ci: vet build race fuzz crash-test parallel-test chaos-test serve-smoke loadgen-smoke bench-smoke bench-smoke-parallel
+ci: vet build race fuzz crash-test parallel-test chaos-test wal-crash-test serve-smoke loadgen-smoke bench-smoke bench-smoke-parallel
 
 clean:
 	$(GO) clean ./...

@@ -46,7 +46,8 @@
 // Exit codes: 0 success, 1 usage or I/O error, 2 parse error, 3 failed
 // static check, 4 evaluation failure, 5 checkpoint or restore failure
 // (unwritable sink, corrupt or torn checkpoint file, program
-// fingerprint mismatch).
+// fingerprint mismatch), 6 write-ahead log failure (mid-log corruption
+// or a log that disagrees with the checkpoint watermark; serve only).
 //
 // The serve subcommand (mdl serve [flags] program.mdl ...) runs the
 // long-lived HTTP/JSON query service instead of a batch solve; see
@@ -78,6 +79,7 @@ const (
 	exitStatic     = 3
 	exitEval       = 4
 	exitCheckpoint = 5
+	exitWAL        = 6
 )
 
 func main() {

@@ -28,6 +28,14 @@
 //	-checkpoint f  warm-start from f when it exists; flush a final
 //	               snapshot to f on graceful shutdown (single program only)
 //	-resume f      warm-start from f, which must exist (single program only)
+//	-wal DIR       durable write-ahead log: every acked assert batch is
+//	               appended (and fsynced per -wal-fsync) under DIR/<name>/
+//	               before the ack, and replayed past the checkpoint
+//	               watermark on restart — acked batches survive crashes
+//	-wal-fsync p   fsync policy: always (per record), batch (one fsync
+//	               per group-commit drain; default) or none (OS-paced;
+//	               a power cut may lose recently acked batches)
+//	-wal-segment N rotate log segments at N bytes (default 64 MiB)
 //	-assert-queue N   commit-queue depth per program; full queue sheds
 //	                  asserts with 429 (default 64)
 //	-max-inflight N   concurrent reads per program before shedding with
@@ -44,7 +52,11 @@
 // requests finish, and with -checkpoint set a final snapshot is
 // flushed so the next start resumes the accumulated model. Exit codes
 // match the batch CLI: 0 clean shutdown, 1 usage, 2 parse, 3 static,
-// 4 evaluation failure at startup, 5 checkpoint/restore failure.
+// 4 evaluation failure at startup, 5 checkpoint/restore failure, 6 an
+// unusable write-ahead log (mid-log corruption, or a log whose records
+// disagree with the checkpoint watermark); a torn tail is repaired
+// silently, corruption anywhere else refuses to start rather than
+// serving a model missing acked history.
 package main
 
 import (
@@ -63,6 +75,7 @@ import (
 
 	"repro/datalog"
 	"repro/internal/server"
+	"repro/internal/wal"
 )
 
 // serveListening, when set (by tests), receives the bound address once
@@ -83,6 +96,9 @@ func runServe(ctx context.Context, args []string, stdout, stderr io.Writer) int 
 	trace := fs.Bool("trace", true, "record provenance for /v1/explain")
 	ckptPath := fs.String("checkpoint", "", "warm-start from this snapshot when present; flush to it on shutdown")
 	resumePath := fs.String("resume", "", "warm-start from this snapshot (must exist)")
+	walDir := fs.String("wal", "", "write-ahead log directory (empty = no durability beyond checkpoints)")
+	walFsync := fs.String("wal-fsync", "", "wal fsync policy: always, batch (default) or none")
+	walSegment := fs.Int64("wal-segment", 0, "wal segment rotation size in bytes (default 64 MiB)")
 	assertQueue := fs.Int("assert-queue", 0, "commit-queue depth per program; a full queue sheds asserts with 429 (default 64)")
 	maxInflight := fs.Int("max-inflight", 0, "concurrent reads per program before shedding with 503 (0 = unlimited)")
 	drainTimeout := fs.Duration("drain-timeout", 10*time.Second, "shutdown budget for draining queued assert batches")
@@ -140,6 +156,16 @@ func runServe(ctx context.Context, args []string, stdout, stderr io.Writer) int 
 	if *drainTimeout < 0 {
 		return usage("-drain-timeout must be ≥ 0")
 	}
+	if *walDir == "" && (*walFsync != "" || *walSegment != 0) {
+		return usage("-wal-fsync/-wal-segment only apply with -wal")
+	}
+	if *walSegment < 0 {
+		return usage("-wal-segment must be ≥ 0")
+	}
+	fsyncPolicy, err := server.ParseFsyncPolicy(*walFsync)
+	if err != nil {
+		return usage("-wal-fsync: " + err.Error())
+	}
 
 	opts := datalog.Options{
 		Epsilon:     *eps,
@@ -165,10 +191,13 @@ func runServe(ctx context.Context, args []string, stdout, stderr io.Writer) int 
 	// records (one per request plus notable events); text keeps the
 	// human lines and adds slog request records alongside them.
 	cfg := server.Config{
-		RequestTimeout: *timeout,
-		SlowRequest:    *slowReq,
-		AssertQueue:    *assertQueue,
-		MaxInflight:    *maxInflight,
+		RequestTimeout:  *timeout,
+		SlowRequest:     *slowReq,
+		AssertQueue:     *assertQueue,
+		MaxInflight:     *maxInflight,
+		WALDir:          *walDir,
+		WALFsync:        fsyncPolicy,
+		WALSegmentBytes: *walSegment,
 	}
 	var logf func(format string, a ...any)
 	if *logFormat == "json" {
@@ -198,6 +227,9 @@ func runServe(ctx context.Context, args []string, stdout, stderr io.Writer) int 
 	}
 	if err := s.Materialize(ctx); err != nil {
 		fmt.Fprintln(stderr, "mdl serve:", err)
+		if errors.Is(err, wal.ErrCorrupt) || errors.Is(err, wal.ErrFingerprint) {
+			return exitWAL
+		}
 		if errors.Is(err, datalog.ErrSnapshotCorrupt) || errors.Is(err, datalog.ErrSnapshotVersion) ||
 			errors.Is(err, datalog.ErrFingerprintMismatch) || errors.Is(err, os.ErrNotExist) {
 			return exitCheckpoint

@@ -105,6 +105,10 @@ func TestServeUsageErrors(t *testing.T) {
 		{"resume with several programs", []string{"-resume", "c.ckpt", f, g}},
 		{"missing file", []string{filepath.Join(t.TempDir(), "nope.mdl")}},
 		{"duplicate program names", []string{f, f}},
+		{"wal-fsync without wal", []string{"-wal-fsync", "batch", f}},
+		{"wal-segment without wal", []string{"-wal-segment", "1024", f}},
+		{"bad wal-fsync policy", []string{"-wal", t.TempDir(), "-wal-fsync", "sometimes", f}},
+		{"negative wal-segment", []string{"-wal", t.TempDir(), "-wal-segment", "-1", f}},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -143,6 +147,22 @@ move(p1, p2).
 	code := runServe(context.Background(), []string{"-resume", filepath.Join(t.TempDir(), "nope.ckpt"), f}, &out, &errb)
 	if code != exitCheckpoint {
 		t.Fatalf("missing resume snapshot: exit %d, stderr %s", code, errb.String())
+	}
+
+	// An unreadable write-ahead log gets its own exit code so operators
+	// can tell "restore the log" from "restore the checkpoint".
+	walRoot := t.TempDir()
+	if err := os.MkdirAll(filepath.Join(walRoot, "sp"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	rot := filepath.Join(walRoot, "sp", "wal-00000000000000000001.seg")
+	if err := os.WriteFile(rot, []byte(strings.Repeat("x", 100)), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	errb.Reset()
+	code = runServe(context.Background(), []string{"-wal", walRoot, f}, &out, &errb)
+	if code != exitWAL {
+		t.Fatalf("corrupt wal: exit %d, want %d; stderr %s", code, exitWAL, errb.String())
 	}
 }
 

@@ -39,11 +39,15 @@ type classStats struct {
 }
 
 // loadReport is one phase's record, merged under the "loadgen" key of
-// BENCH_<date>.json.
+// BENCH_<date>.json. WALFsync and GoMaxProcs pin down the durability
+// and CPU configuration the numbers were measured under — an fsync per
+// drain is a real cost, so reports without it aren't comparable.
 type loadReport struct {
 	Label           string     `json:"label"`
 	URL             string     `json:"url"`
 	Program         string     `json:"program,omitempty"`
+	WALFsync        string     `json:"wal_fsync"`
+	GoMaxProcs      int        `json:"gomaxprocs"`
 	DurationSec     float64    `json:"duration_sec"`
 	TargetRate      float64    `json:"target_rate"`
 	AchievedRate    float64    `json:"achieved_rate"`
@@ -114,6 +118,8 @@ func runLoad(cfg loadConfig) (*loadReport, error) {
 		Label:        cfg.Label,
 		URL:          cfg.BaseURL,
 		Program:      cfg.Program,
+		WALFsync:     scrapeWALFsync(client, cfg.BaseURL, cfg.Program),
+		GoMaxProcs:   runtime.GOMAXPROCS(0),
 		DurationSec:  elapsed.Seconds(),
 		TargetRate:   cfg.Rate,
 		AchievedRate: float64(sent) / elapsed.Seconds(),
@@ -259,6 +265,37 @@ func scrapeCommitBatch(client *http.Client, base, program string) (mean, maxBuck
 		mean = sum / count
 	}
 	return mean, maxBucket
+}
+
+// scrapeWALFsync asks /v1/program which durability mode the target is
+// running: the configured fsync policy when a write-ahead log is open,
+// "off" when acks are memory-only.
+func scrapeWALFsync(client *http.Client, base, program string) string {
+	url := base + "/v1/program"
+	if program != "" {
+		url += "?name=" + program
+	}
+	resp, err := client.Get(url)
+	if err != nil {
+		return "off"
+	}
+	defer resp.Body.Close()
+	var doc struct {
+		Programs []struct {
+			WAL *struct {
+				Fsync string `json:"fsync"`
+			} `json:"wal"`
+		} `json:"programs"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+		return "off"
+	}
+	for _, p := range doc.Programs {
+		if p.WAL != nil {
+			return p.WAL.Fsync
+		}
+	}
+	return "off"
 }
 
 // leBound extracts the le="..." bound from a histogram bucket line.

@@ -64,8 +64,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, "mdlload:", err)
 		return 1
 	}
-	fmt.Fprintf(stderr, "mdlload: %s: %d sent; query p50=%.1fms p99=%.1fms shed=%d err=%d; assert p50=%.1fms p99=%.1fms shed=%d err=%d; mean commit batch %.2f\n",
-		rep.Label, rep.Sent,
+	fmt.Fprintf(stderr, "mdlload: %s (wal-fsync=%s gomaxprocs=%d): %d sent; query p50=%.1fms p99=%.1fms shed=%d err=%d; assert p50=%.1fms p99=%.1fms shed=%d err=%d; mean commit batch %.2f\n",
+		rep.Label, rep.WALFsync, rep.GoMaxProcs, rep.Sent,
 		rep.Query.P50Ms, rep.Query.P99Ms, rep.Query.Shed, rep.Query.Errors,
 		rep.Assert.P50Ms, rep.Assert.P99Ms, rep.Assert.Shed, rep.Assert.Errors,
 		rep.CommitBatchMean)

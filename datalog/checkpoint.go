@@ -103,10 +103,20 @@ func (m *Model) Snapshot() []byte {
 
 // WriteSnapshot atomically persists the model's snapshot to path.
 func (m *Model) WriteSnapshot(path string) error {
+	return m.WriteSnapshotWatermark(path, 0)
+}
+
+// WriteSnapshotWatermark is WriteSnapshot stamping the checkpoint with
+// a commit-sequence watermark: the serve tier records the sequence
+// number of the last assert batch the model subsumes, so a recovering
+// server can replay its write-ahead log from seq+1 and compact the log
+// behind the checkpoint.
+func (m *Model) WriteSnapshotWatermark(path string, seq uint64) error {
 	return snapshot.WriteFile(path, &snapshot.Snapshot{
 		Fingerprint: snapshot.Fingerprint(m.en.Prog),
 		Stats:       snapStats(m.stats),
 		DB:          m.db,
+		Seq:         seq,
 	})
 }
 
@@ -128,17 +138,26 @@ func (p *Program) Restore(data []byte) (*Model, error) {
 
 // RestoreFile is Restore reading the checkpoint from a file.
 func (p *Program) RestoreFile(path string) (*Model, error) {
+	m, _, err := p.RestoreFileWatermark(path)
+	return m, err
+}
+
+// RestoreFileWatermark is RestoreFile additionally returning the
+// commit-sequence watermark stamped by WriteSnapshotWatermark (0 for
+// engine checkpoints and version-1 snapshots).
+func (p *Program) RestoreFileWatermark(path string) (*Model, uint64, error) {
 	s, err := snapshot.ReadFile(path, p.en.Schemas)
 	if err != nil {
 		if errors.Is(err, snapshot.ErrCorrupt) || errors.Is(err, snapshot.ErrVersion) {
-			return nil, fmt.Errorf("datalog: restore %s: %w", path, err)
+			return nil, 0, fmt.Errorf("datalog: restore %s: %w", path, err)
 		}
-		return nil, err
+		return nil, 0, err
 	}
 	if err := s.Verify(p.fp); err != nil {
-		return nil, fmt.Errorf("datalog: restore %s: %w", path, err)
+		return nil, 0, fmt.Errorf("datalog: restore %s: %w", path, err)
 	}
-	return &Model{db: s.DB, schemas: p.en.Schemas, en: p.en, stats: coreStats(s.Stats)}, nil
+	m := &Model{db: s.DB, schemas: p.en.Schemas, en: p.en, stats: coreStats(s.Stats)}
+	return m, s.Seq, nil
 }
 
 // Resume continues the fixpoint from a restored (or interrupted) model

@@ -1,6 +1,7 @@
 package datalog_test
 
 import (
+	"bytes"
 	"context"
 	"errors"
 	"os"
@@ -270,5 +271,34 @@ func TestSolveMoreAccumulatesStats(t *testing.T) {
 	}
 	if !sameTotals(m2.Stats(), stats2) {
 		t.Fatalf("model stats %+v != returned stats %+v", m2.Stats(), stats2)
+	}
+}
+
+func TestWatermarkRoundTrip(t *testing.T) {
+	prog, _ := loadExample(t, "shortestpath.mdl")
+	m, _, err := prog.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "wm.snap")
+	if err := m.WriteSnapshotWatermark(path, 42); err != nil {
+		t.Fatal(err)
+	}
+	m2, seq, err := prog.RestoreFileWatermark(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq != 42 {
+		t.Fatalf("watermark %d, want 42", seq)
+	}
+	if got, want := m2.Snapshot(), m.Snapshot(); !bytes.Equal(got, want) {
+		t.Fatal("restored model differs")
+	}
+	// Plain WriteSnapshot stamps watermark 0 and RestoreFile drops it.
+	if err := m.WriteSnapshot(path); err != nil {
+		t.Fatal(err)
+	}
+	if _, seq, err = prog.RestoreFileWatermark(path); err != nil || seq != 0 {
+		t.Fatalf("seq %d err %v, want 0 nil", seq, err)
 	}
 }

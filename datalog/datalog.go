@@ -143,6 +143,11 @@ type Program struct {
 	fp   [32]byte // snapshot fingerprint of prog (source + declarations)
 }
 
+// Fingerprint returns the program's canonical fingerprint — the hash
+// that tags its checkpoints and write-ahead log segments, so neither
+// can ever be resumed against a different program.
+func (p *Program) Fingerprint() [32]byte { return p.fp }
+
 // Load parses, checks and compiles a program. Failures are classified:
 // errors.Is(err, ErrParse) for syntax errors, errors.Is(err, ErrStatic)
 // for failed static analyses.

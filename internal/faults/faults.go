@@ -61,6 +61,27 @@ const (
 	// encode so per-request deadlines on read handlers can be
 	// exercised deterministically.
 	ServerReadEncode = "server.read.encode"
+	// SnapshotDirSync fires before the parent-directory fsync that
+	// makes a checkpoint's atomic rename durable. Arm with Err to
+	// simulate a directory that cannot be synced.
+	SnapshotDirSync = "snapshot.dir.sync"
+	// WALAppendWrite fires at the start of every WAL record append. Arm
+	// with Err to simulate a failed log write: the batch must answer
+	// 500, the published model must stay untouched, and readiness must
+	// trip.
+	WALAppendWrite = "wal.append.write"
+	// WALFsync fires at the start of every WAL fsync (the group-commit
+	// sync before acks). Arm with Delay for a stalling disk or Err for
+	// a dying one.
+	WALFsync = "wal.fsync"
+	// WALRecoverRead fires while a WAL segment is read back during
+	// recovery; an armed fault mangles the bytes (truncation by
+	// default), simulating a torn tail or mid-log bit rot.
+	WALRecoverRead = "wal.recover.read"
+	// ServerWALReplay fires once per batch replayed from the WAL during
+	// warm start. Arm with Delay to hold a server in the "replaying"
+	// readiness state so /readyz progress reporting can be observed.
+	ServerWALReplay = "server.wal.replay"
 )
 
 // ErrInjected is the default error returned by armed error-mode faults.

@@ -51,6 +51,11 @@ type commitReq struct {
 type commitResult struct {
 	state *modelState
 	stats datalog.Stats
+	// seq is the batch's commit sequence number: each committed batch
+	// gets its own (monotonic per program), even when many batches share
+	// one solve, so clients can reconcile acks across restarts — the
+	// checkpoint watermark and WAL replay speak the same numbering.
+	seq uint64
 	// coalesced is the number of batches that shared the commit's solve
 	// (1 when the batch was committed alone).
 	coalesced int
@@ -139,22 +144,17 @@ func (svc *service) commit(batch []*commitReq) {
 	// Writer stall fault: the queue keeps filling while this sleeps.
 	ctx := svc.commitContext()
 	if err := faults.CheckCtx(ctx, faults.ServerCommitStall); err != nil {
-		svc.respondAll(batch, commitResult{coalesced: len(batch), err: err})
+		svc.respondAll(batch, commitResult{coalesced: len(batch), err: err}, nil)
 		return
 	}
 	svc.srv.metrics.commitBatch.With(svc.name).Observe(float64(len(batch)))
-	if len(batch) == 1 {
-		res := svc.solveAndPublish(ctx, batch[0].facts, 1)
-		batch[0].done <- res
-		return
+	batches := make([][]datalog.Fact, len(batch))
+	for i, req := range batch {
+		batches[i] = req.facts
 	}
-	merged := make([]datalog.Fact, 0, len(batch)*2)
-	for _, req := range batch {
-		merged = append(merged, req.facts...)
-	}
-	res := svc.solveAndPublish(ctx, merged, len(batch))
-	if res.err == nil {
-		svc.respondAll(batch, res)
+	res, seqs := svc.solveAndPublish(ctx, batches)
+	if res.err == nil || len(batch) == 1 {
+		svc.respondAll(batch, res, seqs)
 		return
 	}
 	// The merged solve failed; one poison batch must not take its
@@ -164,14 +164,24 @@ func (svc *service) commit(batch []*commitReq) {
 	// solve.)
 	svc.srv.metrics.commitIsolated.With(svc.name).Add(int64(len(batch)))
 	for _, req := range batch {
-		req.done <- svc.solveAndPublish(svc.commitContext(), req.facts, 1)
+		solo, soloSeqs := svc.solveAndPublish(svc.commitContext(), [][]datalog.Fact{req.facts})
+		if len(soloSeqs) == 1 {
+			solo.seq = soloSeqs[0]
+		}
+		req.done <- solo
 	}
 }
 
-// respondAll delivers one shared result to every batch in a group.
-func (svc *service) respondAll(batch []*commitReq, res commitResult) {
-	for _, req := range batch {
-		req.done <- res
+// respondAll delivers one shared result to every batch in a group,
+// stamping each with its own commit sequence number when the commit
+// assigned them.
+func (svc *service) respondAll(batch []*commitReq, res commitResult, seqs []uint64) {
+	for i, req := range batch {
+		r := res
+		if i < len(seqs) {
+			r.seq = seqs[i]
+		}
+		req.done <- r
 	}
 }
 
@@ -184,39 +194,96 @@ func (svc *service) commitContext() context.Context {
 	return svc.srv.drainCtx
 }
 
-// solveAndPublish extends the published model with facts and swaps the
-// converged result in atomically; on any error (including an injected
-// publish failure) the published model is untouched. coalesced is
-// carried through to the result for observability.
-func (svc *service) solveAndPublish(ctx context.Context, facts []datalog.Fact, coalesced int) commitResult {
+// solveAndPublish extends the published model with the union of the
+// batches' facts, logs each batch to the WAL, and swaps the converged
+// result in atomically; on any error (including an injected publish
+// failure) the published model is untouched. The returned seqs carry
+// one commit sequence number per batch, in arrival order.
+//
+// Ordering is durability before visibility: the solve runs first (only
+// successful batches are ever logged — a rejected batch leaves no
+// record to replay), then every batch is appended to the log and
+// fsynced per policy, then the new generation is published, then the
+// caller acks. A WAL failure therefore costs an ack, never loses one:
+// the batch answers 500, readiness trips, and the model keeps serving
+// the previous fixpoint. The converse order would let readers observe
+// facts a crash could forget.
+func (svc *service) solveAndPublish(ctx context.Context, batches [][]datalog.Fact) (commitResult, []uint64) {
+	coalesced := len(batches)
 	if svc.srv.cfg.RequestTimeout > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, svc.srv.cfg.RequestTimeout)
 		defer cancel()
 	}
 	if err := faults.CheckCtx(ctx, faults.ServerCommitSolve); err != nil {
-		return commitResult{coalesced: coalesced, err: err}
+		return commitResult{coalesced: coalesced, err: err}, nil
 	}
 	svc.writeMu.Lock()
 	defer svc.writeMu.Unlock()
+	if svc.wal != nil && svc.walBroken.Load() {
+		return commitResult{coalesced: coalesced,
+			err: fmt.Errorf("%w: log broken by an earlier failure; restart to recover", errWALFailed)}, nil
+	}
 	start := time.Now()
 	cur := svc.cur.Load()
+	facts := batches[0]
+	if coalesced > 1 {
+		facts = make([]datalog.Fact, 0, coalesced*2)
+		for _, b := range batches {
+			facts = append(facts, b...)
+		}
+	}
 	m, stats, err := svc.prog.SolveMoreContext(ctx, cur.model, facts)
 	if err != nil {
-		return commitResult{stats: stats, coalesced: coalesced, err: err}
+		return commitResult{stats: stats, coalesced: coalesced, err: err}, nil
+	}
+	seqs := make([]uint64, coalesced)
+	for i := range seqs {
+		seqs[i] = svc.seq.Load() + uint64(i) + 1
+	}
+	if svc.wal != nil {
+		policy := svc.srv.walFsyncPolicy()
+		for i, b := range batches {
+			if err := svc.walAppend(seqs[i], b); err != nil {
+				return commitResult{stats: stats, coalesced: coalesced, err: svc.walFail("append", err)}, nil
+			}
+			if policy == FsyncAlways {
+				if err := svc.walSync(); err != nil {
+					return commitResult{stats: stats, coalesced: coalesced, err: svc.walFail("fsync", err)}, nil
+				}
+			}
+		}
+		if policy == FsyncBatch {
+			// Group commit: one fsync covers the whole drain, before any
+			// batch in it is acked.
+			if err := svc.walSync(); err != nil {
+				return commitResult{stats: stats, coalesced: coalesced, err: svc.walFail("fsync", err)}, nil
+			}
+		}
+		// The log now owns these sequence numbers; advance past them
+		// even if the publish below fails, so the next commit cannot
+		// collide with a record already on disk.
+		svc.seq.Store(seqs[coalesced-1])
 	}
 	// Failed-swap fault: the solve converged but the new generation
 	// must not be published; readers keep the last good fixpoint. A
-	// failed swap is an engine-side failure, not a client error.
+	// failed swap is an engine-side failure, not a client error. (With
+	// a WAL the batches are already durable; replay applying them after
+	// a restart is the documented at-least-once ambiguity — insertion
+	// is idempotent, so convergence is unaffected.)
 	if err := faults.Check(faults.ServerCommitPublish); err != nil {
 		return commitResult{stats: stats, coalesced: coalesced,
-			err: fmt.Errorf("%w: publishing generation %d: %v", datalog.ErrInternal, cur.version+1, err)}
+			err: fmt.Errorf("%w: publishing generation %d: %v", datalog.ErrInternal, cur.version+1, err)}, nil
 	}
 	next := &modelState{model: m, version: cur.version + 1, warm: cur.warm}
 	svc.cur.Store(next)
+	if svc.wal == nil {
+		svc.seq.Store(seqs[coalesced-1])
+	}
+	svc.srv.metrics.commitSeq.With(svc.name).Set(float64(seqs[coalesced-1]))
 	svc.observeSolve(time.Since(start))
 	svc.srv.metrics.publishModel(svc.name, next.version, m.Size())
-	return commitResult{state: next, stats: stats, coalesced: coalesced}
+	return commitResult{state: next, stats: stats, coalesced: coalesced}, seqs
 }
 
 // observeSolve folds one successful commit's solve duration into the

@@ -231,16 +231,12 @@ func TestCommitSoloEqualsGrouped(t *testing.T) {
 
 	solo := mk()
 	for _, d := range deltas {
-		if res := solo.solveAndPublish(context.Background(), d, 1); res.err != nil {
+		if res, _ := solo.solveAndPublish(context.Background(), [][]datalog.Fact{d}); res.err != nil {
 			t.Fatal(res.err)
 		}
 	}
 	grouped := mk()
-	var merged []datalog.Fact
-	for _, d := range deltas {
-		merged = append(merged, d...)
-	}
-	if res := grouped.solveAndPublish(context.Background(), merged, len(deltas)); res.err != nil {
+	if res, _ := grouped.solveAndPublish(context.Background(), deltas); res.err != nil {
 		t.Fatal(res.err)
 	}
 

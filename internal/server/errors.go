@@ -9,8 +9,9 @@ import (
 
 // apiError is the structured JSON error body. Status codes and ExitCode
 // mirror the mdl CLI's exit-code contract (1 usage, 2 parse, 3 static,
-// 4 evaluation, 5 checkpoint) so scripted clients can reuse the same
-// classification whether they drive the binary or the service.
+// 4 evaluation, 5 checkpoint, 6 write-ahead log) so scripted clients
+// can reuse the same classification whether they drive the binary or
+// the service.
 type apiError struct {
 	// Code is a stable machine-readable class.
 	Code string `json:"code"`
@@ -72,8 +73,11 @@ func errOverloaded(retryAfter int) *apiError {
 //	divergence (ω-limit)                        -> 422 "diverged" (exit 4)
 //	contained engine panic                      -> 500 "internal" (exit 4)
 //	checkpoint write                            -> 500 "checkpoint" (exit 5)
+//	write-ahead log append/fsync                -> 500 "wal"      (exit 6)
 func classifySolveError(err error) *apiError {
 	switch {
+	case errors.Is(err, errWALFailed):
+		return &apiError{Code: "wal", Message: err.Error(), ExitCode: 6, status: http.StatusInternalServerError}
 	case errors.Is(err, datalog.ErrCanceled):
 		return &apiError{Code: "canceled", Message: err.Error(), ExitCode: 4, status: http.StatusServiceUnavailable}
 	case errors.Is(err, datalog.ErrBudgetExceeded):

@@ -145,13 +145,20 @@ func toStatsJSON(st datalog.Stats) statsJSON {
 
 // readyState classifies the server's readiness: "ok" when every model
 // is published and the server is accepting work, otherwise the reason
-// it is not ("materializing", "draining").
+// it is not ("draining", "wal_failed", "replaying", "materializing").
 func (s *Server) readyState() string {
 	if s.Draining() {
 		return "draining"
 	}
 	for _, name := range s.names {
-		if s.svcs[name].current() == nil {
+		svc := s.svcs[name]
+		if svc.walBroken.Load() {
+			return "wal_failed"
+		}
+		if svc.replaying.Load() {
+			return "replaying"
+		}
+		if svc.current() == nil {
 			return "materializing"
 		}
 	}
@@ -181,10 +188,26 @@ func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 		status = http.StatusServiceUnavailable
 		w.Header().Set("Retry-After", "1")
 	}
-	writeJSON(w, status, map[string]any{
+	body := map[string]any{
 		"status":   state,
 		"programs": s.names,
-	})
+	}
+	if state == "replaying" {
+		// Replay progress by program, so operators can see how far a
+		// warm start has gotten through the write-ahead log.
+		progress := map[string]any{}
+		for _, name := range s.names {
+			svc := s.svcs[name]
+			if svc.replaying.Load() {
+				progress[name] = map[string]uint64{
+					"replayed": svc.replayDone.Load(),
+					"total":    svc.replayTotal.Load(),
+				}
+			}
+		}
+		body["replay"] = progress
+	}
+	writeJSON(w, status, body)
 }
 
 // handleMetrics renders the Prometheus text exposition format by
@@ -337,10 +360,19 @@ func (s *Server) handleProgram(w http.ResponseWriter, r *http.Request) {
 		if svc.spec.Checkpoint != "" {
 			info["checkpoint"] = svc.spec.Checkpoint
 		}
+		if svc.wal != nil {
+			info["wal"] = map[string]any{
+				"dir":      svc.wal.Dir(),
+				"fsync":    string(s.walFsyncPolicy()),
+				"segments": svc.wal.Segments(),
+				"broken":   svc.walBroken.Load(),
+			}
+		}
 		if st := svc.current(); st != nil {
 			info["version"] = st.version
 			info["size"] = st.model.Size()
 			info["warm_started"] = st.warm
+			info["seq"] = svc.seq.Load()
 			info["stats"] = toStatsJSON(st.model.Stats())
 		}
 		out = append(out, info)
@@ -548,9 +580,14 @@ func (s *Server) handleAssert(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		writeJSON(w, http.StatusOK, map[string]any{
-			"program":   svc.name,
-			"version":   res.state.version,
-			"size":      res.state.model.Size(),
+			"program": svc.name,
+			"version": res.state.version,
+			"size":    res.state.model.Size(),
+			// seq is this batch's commit sequence number: monotonic per
+			// program, durable when a WAL is configured, and comparable
+			// against the "seq" of /v1/program after a restart to resolve
+			// the ack-ambiguity window.
+			"seq":       res.seq,
 			"asserted":  len(facts),
 			"coalesced": res.coalesced,
 			"stats":     toStatsJSON(res.stats),

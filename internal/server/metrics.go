@@ -29,6 +29,11 @@ var metricEndpoints = []string{
 // write path absorbing concurrency.
 var commitBatchBuckets = []float64{1, 2, 4, 8, 16, 32, 64, 128}
 
+// fsyncBuckets are the histogram upper bounds (seconds) for WAL fsync
+// latency: a healthy local disk sits well under a millisecond; the top
+// buckets catch stalling devices.
+var fsyncBuckets = []float64{0.0001, 0.0005, 0.001, 0.005, 0.025, 0.1, 0.5, 2.5}
+
 // otherEndpoint aggregates traffic on unknown paths (404s and method
 // mismatches), so scans and misconfigured clients stay visible.
 const otherEndpoint = "other"
@@ -59,6 +64,15 @@ type metrics struct {
 	queueDepth     *obs.GaugeVec
 	commitBatch    *obs.HistogramVec
 	commitIsolated *obs.CounterVec
+	// commitSeq is the last committed batch's sequence number by
+	// program — the durable ack watermark clients reconcile against.
+	commitSeq *obs.GaugeVec
+	// WAL instrumentation: fsync latency, bytes appended, on-disk
+	// segment count, and batches replayed during warm starts.
+	walFsync    *obs.HistogramVec
+	walBytes    *obs.CounterVec
+	walSegments *obs.GaugeVec
+	walReplayed *obs.CounterVec
 	// Per-program model gauges, updated when a new model generation is
 	// published (materialize or a successful assert).
 	modelSize    *obs.GaugeVec
@@ -105,6 +119,16 @@ func newMetrics() *metrics {
 			"Assert batches coalesced per group-commit drain, by program.", commitBatchBuckets, "program"),
 		commitIsolated: reg.NewCounterVec("mdl_commit_isolated_total",
 			"Batches re-committed alone after a failed merged solve, by program.", "program"),
+		commitSeq: reg.NewGaugeVec("mdl_commit_seq",
+			"Sequence number of the last committed assert batch, by program.", "program"),
+		walFsync: reg.NewHistogramVec("mdl_wal_fsync_seconds",
+			"Write-ahead log fsync latency in seconds, by program.", fsyncBuckets, "program"),
+		walBytes: reg.NewCounterVec("mdl_wal_bytes_total",
+			"Bytes appended to the write-ahead log, by program.", "program"),
+		walSegments: reg.NewGaugeVec("mdl_wal_segments",
+			"On-disk write-ahead log segment files, by program.", "program"),
+		walReplayed: reg.NewCounterVec("mdl_wal_replayed_batches_total",
+			"Assert batches replayed from the write-ahead log at warm start, by program.", "program"),
 		modelSize: reg.NewGaugeVec("mdl_program_model_size",
 			"Stored tuples in the published model, by program.", "program"),
 		modelVersion: reg.NewGaugeVec("mdl_program_model_version",

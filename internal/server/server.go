@@ -56,6 +56,7 @@ import (
 	"time"
 
 	"repro/datalog"
+	"repro/internal/wal"
 )
 
 // Config tunes the server; the zero value is a good default.
@@ -82,6 +83,17 @@ type Config struct {
 	// SlowRequest, when positive, logs requests slower than this
 	// threshold at Warn level (requires Logger).
 	SlowRequest time.Duration
+	// WALDir, when non-empty, enables the durable write-ahead log: each
+	// program logs committed assert batches under WALDir/<name>/ and
+	// replays them past the checkpoint watermark on warm start (see
+	// wal.go). Empty disables the log (acked batches survive restarts
+	// only up to the last checkpoint flush).
+	WALDir string
+	// WALFsync is the fsync policy for the log ("" selects batch).
+	WALFsync FsyncPolicy
+	// WALSegmentBytes caps each log segment before rotation; 0 selects
+	// the wal package default (64 MiB).
+	WALSegmentBytes int64
 }
 
 // ProgramSpec names one program to serve.
@@ -139,6 +151,22 @@ type service struct {
 	// inflight counts currently executing read requests for the
 	// MaxInflight admission gate.
 	inflight atomic.Int64
+	// wal is the program's write-ahead log (nil when Config.WALDir is
+	// empty). seq is the program's commit sequence: the number of assert
+	// batches ever committed, carried across restarts through the log
+	// and the checkpoint watermark. It advances only on the committer
+	// goroutine; atomic so handlers and checkpoint flushes can read it.
+	wal *wal.Log
+	seq atomic.Uint64
+	// walBroken trips after a failed append or fsync: the write path
+	// fails fast (500 "wal") and /readyz reports wal_failed until a
+	// restart recovers the log.
+	walBroken atomic.Bool
+	// replaying/replayDone/replayTotal publish warm-start replay
+	// progress to /readyz.
+	replaying   atomic.Bool
+	replayDone  atomic.Uint64
+	replayTotal atomic.Uint64
 	// arity maps predicate name -> non-cost arity for every declared
 	// predicate, fixed at load time (so the read path never consults —
 	// or lazily extends — mutable schema state).
@@ -233,17 +261,44 @@ func (s *Server) logf(format string, args ...any) {
 }
 
 // Materialize computes (or warm-starts) the least model of every
-// service and starts its committer. It must complete before the
-// handler serves queries; pair it with Drain (or Close) to stop the
-// committers.
+// service and starts its committer. With a WAL configured it also
+// opens each program's log and replays the records past the restored
+// checkpoint's watermark before publishing, so the first published
+// generation already contains every durably acked batch. It must
+// complete before the handler serves queries; pair it with Drain (or
+// Close) to stop the committers.
 func (s *Server) Materialize(ctx context.Context) error {
 	for _, name := range s.names {
 		svc := s.svcs[name]
 		start := time.Now()
-		m, warm, err := svc.materialize(ctx)
+		m, warm, watermark, err := svc.materialize(ctx)
 		if err != nil {
 			return fmt.Errorf("server: materialize %s: %w", name, err)
 		}
+		svc.seq.Store(watermark)
+		replayed := 0
+		if s.cfg.WALDir != "" {
+			if err := svc.openWAL(watermark); err != nil {
+				return fmt.Errorf("server: materialize %s: %w", name, err)
+			}
+			if m, replayed, err = svc.replayWAL(ctx, m, watermark); err != nil {
+				return fmt.Errorf("server: materialize %s: wal replay: %w", name, err)
+			}
+			svc.seq.Store(svc.wal.LastSeq())
+			if replayed > 0 && svc.spec.Checkpoint != "" {
+				// Fold the replay into a fresh checkpoint immediately so
+				// the next restart replays only what arrives from here on,
+				// and let the log drop segments the new watermark subsumes.
+				if err := m.WriteSnapshotWatermark(svc.spec.Checkpoint, svc.seq.Load()); err != nil {
+					return fmt.Errorf("server: materialize %s: post-replay checkpoint: %w", name, err)
+				}
+				if _, err := svc.wal.Compact(svc.seq.Load()); err != nil {
+					return fmt.Errorf("server: materialize %s: wal compact: %w", name, err)
+				}
+				s.metrics.walSegments.With(name).Set(float64(svc.wal.Segments()))
+			}
+		}
+		s.metrics.commitSeq.With(name).Set(float64(svc.seq.Load()))
 		svc.cur.Store(&modelState{model: m, version: 1, warm: warm})
 		s.metrics.publishModel(name, 1, m.Size())
 		svc.committerUp.Store(true)
@@ -252,15 +307,21 @@ func (s *Server) Materialize(ctx context.Context) error {
 		if warm {
 			how = "warm-started"
 		}
-		s.logf("program %s: %s in %s (%d tuples, %d rounds)",
-			name, how, time.Since(start).Round(time.Millisecond), m.Size(), m.Stats().Rounds)
+		extra := ""
+		if replayed > 0 {
+			extra = fmt.Sprintf(", %d wal batches replayed", replayed)
+		}
+		s.logf("program %s: %s in %s (%d tuples, %d rounds%s)",
+			name, how, time.Since(start).Round(time.Millisecond), m.Size(), m.Stats().Rounds, extra)
 	}
 	return nil
 }
 
 // materialize computes the initial least model of one service,
-// warm-starting from a snapshot when configured.
-func (svc *service) materialize(ctx context.Context) (*datalog.Model, bool, error) {
+// warm-starting from a snapshot when configured. The returned
+// watermark is the restored checkpoint's commit sequence (0 for cold
+// starts): WAL replay resumes after it.
+func (svc *service) materialize(ctx context.Context) (*datalog.Model, bool, uint64, error) {
 	warmFrom := svc.spec.Resume
 	optional := false
 	if warmFrom == "" && svc.spec.Checkpoint != "" {
@@ -269,25 +330,25 @@ func (svc *service) materialize(ctx context.Context) (*datalog.Model, bool, erro
 		warmFrom, optional = svc.spec.Checkpoint, true
 	}
 	if warmFrom != "" {
-		restored, err := svc.prog.RestoreFile(warmFrom)
+		restored, watermark, err := svc.prog.RestoreFileWatermark(warmFrom)
 		switch {
 		case err == nil:
 			m, _, rerr := svc.prog.Resume(ctx, restored)
 			if rerr != nil {
-				return nil, true, rerr
+				return nil, true, 0, rerr
 			}
-			return m, true, nil
+			return m, true, watermark, nil
 		case optional && errors.Is(err, fs.ErrNotExist):
 			// No snapshot yet: fall through to a cold solve.
 		default:
-			return nil, false, err
+			return nil, false, 0, err
 		}
 	}
 	m, _, err := svc.prog.SolveContext(ctx, nil)
 	if err != nil {
-		return nil, false, err
+		return nil, false, 0, err
 	}
-	return m, false, nil
+	return m, false, 0, nil
 }
 
 // current returns the published model state (nil before Materialize).
@@ -356,6 +417,12 @@ func (s *Server) Close() {
 		if svc.committerUp.Load() {
 			<-svc.committerDone
 		}
+		if svc.wal != nil {
+			// The committer has exited, so no appends race the close.
+			if err := svc.wal.Close(); err != nil && !svc.walBroken.Load() {
+				s.logf("program %s: wal close: %v", name, err)
+			}
+		}
 	}
 }
 
@@ -373,7 +440,9 @@ func (svc *service) explain(pred string, depth int, args []datalog.Value) (rule 
 }
 
 // FlushCheckpoints writes a final snapshot for every service configured
-// with a checkpoint path. It is called on graceful shutdown; the first
+// with a checkpoint path, stamped with the program's commit-sequence
+// watermark, then compacts the WAL behind it (segments the checkpoint
+// subsumes are dropped). It is called on graceful shutdown; the first
 // error is returned after all services have been attempted.
 func (s *Server) FlushCheckpoints() error {
 	var first error
@@ -384,9 +453,10 @@ func (s *Server) FlushCheckpoints() error {
 		}
 		svc.writeMu.Lock()
 		st := svc.cur.Load()
+		seq := svc.seq.Load()
 		var err error
 		if st != nil {
-			err = st.model.WriteSnapshot(svc.spec.Checkpoint)
+			err = st.model.WriteSnapshotWatermark(svc.spec.Checkpoint, seq)
 		}
 		svc.writeMu.Unlock()
 		if err != nil {
@@ -397,7 +467,15 @@ func (s *Server) FlushCheckpoints() error {
 			continue
 		}
 		if st != nil {
-			s.logf("program %s: checkpoint flushed to %s (version %d)", name, svc.spec.Checkpoint, st.version)
+			s.logf("program %s: checkpoint flushed to %s (version %d, seq %d)", name, svc.spec.Checkpoint, st.version, seq)
+			if svc.wal != nil && !svc.walBroken.Load() {
+				if n, cerr := svc.wal.Compact(seq); cerr != nil {
+					s.logf("program %s: wal compact: %v", name, cerr)
+				} else if n > 0 {
+					s.logf("program %s: wal compacted %d segment(s) behind seq %d", name, n, seq)
+				}
+				s.metrics.walSegments.With(name).Set(float64(svc.wal.Segments()))
+			}
 		}
 	}
 	return first

@@ -1,0 +1,241 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"path/filepath"
+	"time"
+
+	"repro/datalog"
+	"repro/internal/faults"
+	"repro/internal/wal"
+)
+
+// Durability: the serve tier's write-ahead log.
+//
+// Without a WAL, an acked /v1/assert lives only in memory until the
+// next checkpoint flush — a crash forgets it. With Config.WALDir set,
+// every committed batch is appended to a per-program log (one record
+// per batch, carrying the batch's commit sequence number) and fsynced
+// per the configured policy BEFORE the new model generation is
+// published or any waiter is acked. A warm start then restores the
+// newest checkpoint and replays the records past its watermark, so the
+// recovered model is exactly the least model of the EDB the acked
+// batches built — monotonicity of T_P makes replay grouping and
+// ordering irrelevant, which is why a single merged solve over all
+// replayed facts is sound (Ross & Sagiv).
+//
+// Failure posture: a WAL append or fsync error fails the batch with
+// 500 (the published model is untouched), marks the service's log
+// broken, and trips /readyz — after a failed write the segment tail
+// state is unknown, so continuing to append could ack batches the log
+// cannot replay. The process keeps serving reads; writes fail fast
+// until a restart recovers the log.
+
+// FsyncPolicy says when the WAL is fsynced relative to acks.
+type FsyncPolicy string
+
+const (
+	// FsyncAlways syncs after every record append.
+	FsyncAlways FsyncPolicy = "always"
+	// FsyncBatch syncs once per group-commit drain, before any batch in
+	// the group is acked — the same acked⇒durable guarantee as always,
+	// amortized over the group. The default.
+	FsyncBatch FsyncPolicy = "batch"
+	// FsyncNone never syncs explicitly; acked batches since the OS last
+	// flushed may be lost on power cut (not on process crash).
+	FsyncNone FsyncPolicy = "none"
+)
+
+// ParseFsyncPolicy validates a policy string ("" selects batch).
+func ParseFsyncPolicy(s string) (FsyncPolicy, error) {
+	switch FsyncPolicy(s) {
+	case "":
+		return FsyncBatch, nil
+	case FsyncAlways, FsyncBatch, FsyncNone:
+		return FsyncPolicy(s), nil
+	}
+	return "", fmt.Errorf("unknown fsync policy %q (want always, batch or none)", s)
+}
+
+// errWALFailed classifies write-ahead log failures on the commit path;
+// the API surfaces them as 500 "wal" (exit code 6).
+var errWALFailed = errors.New("server: write-ahead log failed")
+
+// walFsyncPolicy resolves the configured fsync policy ("" = batch).
+func (s *Server) walFsyncPolicy() FsyncPolicy {
+	if s.cfg.WALFsync == "" {
+		return FsyncBatch
+	}
+	return s.cfg.WALFsync
+}
+
+// openWAL opens (or creates) the service's log under Config.WALDir and
+// cross-checks it against the checkpoint watermark the model was
+// restored at.
+func (svc *service) openWAL(watermark uint64) error {
+	l, err := wal.Open(wal.Options{
+		Dir:          filepath.Join(svc.srv.cfg.WALDir, svc.name),
+		Fingerprint:  svc.prog.Fingerprint(),
+		StartSeq:     watermark,
+		SegmentBytes: svc.srv.cfg.WALSegmentBytes,
+	})
+	if err != nil {
+		return err
+	}
+	// The checkpoint and the log must agree on history. A log whose
+	// oldest record starts past watermark+1 was compacted against a
+	// newer checkpoint than the one restored: the acked batches in the
+	// gap are gone, and replaying the rest would build the wrong EDB. A
+	// log that ends before the watermark is stale (the checkpoint
+	// subsumes batches the log never saw) — likely a crossed directory.
+	if first := l.FirstSeq(); first > watermark+1 {
+		l.Close()
+		return fmt.Errorf("%w: log starts at seq %d but the checkpoint watermark is %d: acked history is missing", wal.ErrCorrupt, first, watermark)
+	}
+	if last := l.LastSeq(); last < watermark {
+		l.Close()
+		return fmt.Errorf("%w: log ends at seq %d behind the checkpoint watermark %d", wal.ErrCorrupt, last, watermark)
+	}
+	if rep := l.Repaired(); rep != nil {
+		svc.srv.logf("program %s: wal: repaired torn tail in %s: dropped %d bytes at offset %d (%s)",
+			svc.name, rep.Segment, rep.Dropped, rep.Offset, rep.Reason)
+	}
+	svc.wal = l
+	svc.srv.metrics.walSegments.With(svc.name).Set(float64(l.Segments()))
+	return nil
+}
+
+// replayWAL applies every log record past the checkpoint watermark to
+// m and returns the extended model and the number of batches replayed.
+// All replayed facts flow through ONE merged solve: sound because EDB
+// insertion is monotone and order-insensitive. Progress is published
+// via the service's replay counters so /readyz can report it.
+func (svc *service) replayWAL(ctx context.Context, m *datalog.Model, watermark uint64) (*datalog.Model, int, error) {
+	last := svc.wal.LastSeq()
+	if last <= watermark {
+		return m, 0, nil
+	}
+	svc.replayTotal.Store(last - watermark)
+	svc.replaying.Store(true)
+	defer svc.replaying.Store(false)
+	var facts []datalog.Fact
+	batches := 0
+	err := svc.wal.Replay(watermark, func(seq uint64, payload []byte) error {
+		if err := faults.CheckCtx(ctx, faults.ServerWALReplay); err != nil {
+			return err
+		}
+		fs, err := svc.decodeWALPayload(payload)
+		if err != nil {
+			return fmt.Errorf("%w: record %d: %v", wal.ErrCorrupt, seq, err)
+		}
+		facts = append(facts, fs...)
+		batches++
+		svc.replayDone.Add(1)
+		svc.srv.metrics.walReplayed.With(svc.name).Add(1)
+		return nil
+	})
+	if err != nil {
+		return nil, 0, err
+	}
+	if len(facts) > 0 {
+		if m, _, err = svc.prog.SolveMoreContext(ctx, m, facts); err != nil {
+			return nil, 0, fmt.Errorf("replaying %d batches (%d facts): %w", batches, len(facts), err)
+		}
+	}
+	return m, batches, nil
+}
+
+// walAppend logs one committed batch under seq and accounts the bytes;
+// fsyncing is the caller's job (policy-dependent, see commit).
+func (svc *service) walAppend(seq uint64, facts []datalog.Fact) error {
+	n, err := svc.wal.Append(seq, encodeWALPayload(facts))
+	if err != nil {
+		return err
+	}
+	svc.srv.metrics.walBytes.With(svc.name).Add(int64(n))
+	return nil
+}
+
+// walSync runs one policy-visible fsync and times it.
+func (svc *service) walSync() error {
+	start := time.Now()
+	if err := svc.wal.Sync(); err != nil {
+		return err
+	}
+	svc.srv.metrics.walFsync.With(svc.name).Observe(time.Since(start).Seconds())
+	svc.srv.metrics.walSegments.With(svc.name).Set(float64(svc.wal.Segments()))
+	return nil
+}
+
+// walFail marks the service's log broken (readiness trips, later
+// writes fail fast) and wraps the failure for the API error surface.
+func (svc *service) walFail(op string, err error) error {
+	if !svc.walBroken.Swap(true) {
+		svc.srv.logf("program %s: wal %s failed, write path disabled until restart: %v", svc.name, op, err)
+	}
+	return fmt.Errorf("%w: %s: %v", errWALFailed, op, err)
+}
+
+// The WAL record payload is the batch's facts in the server's
+// deterministic JSON value encoding (see json.go):
+//
+//	[{"pred":"edge","args":[...]} , ...]
+//
+// Decoding reuses the /v1/assert validation path — declarations and
+// arity checked against the load-time schema — so a replayed record is
+// held to exactly the contract its original request passed.
+
+// encodeWALPayload serializes one batch.
+func encodeWALPayload(facts []datalog.Fact) []byte {
+	var b bytes.Buffer
+	b.WriteByte('[')
+	for i, f := range facts {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(`{"pred":`)
+		name, _ := json.Marshal(f.Pred)
+		b.Write(name)
+		b.WriteString(`,"args":[`)
+		for j, a := range f.Args {
+			if j > 0 {
+				b.WriteByte(',')
+			}
+			encodeValue(&b, a)
+		}
+		b.WriteString(`]}`)
+	}
+	b.WriteByte(']')
+	return b.Bytes()
+}
+
+// decodeWALPayload parses one record back into validated facts.
+func (svc *service) decodeWALPayload(payload []byte) ([]datalog.Fact, error) {
+	var recs []struct {
+		Pred string            `json:"pred"`
+		Args []json.RawMessage `json:"args"`
+	}
+	if err := json.Unmarshal(payload, &recs); err != nil {
+		return nil, fmt.Errorf("decoding payload: %v", err)
+	}
+	facts := make([]datalog.Fact, len(recs))
+	for i, f := range recs {
+		decl, ok := svc.decls[f.Pred]
+		if !ok {
+			return nil, fmt.Errorf("facts[%d]: program has no predicate %q", i, f.Pred)
+		}
+		if len(f.Args) != decl.Arity {
+			return nil, fmt.Errorf("facts[%d]: %s takes %d arguments, got %d", i, f.Pred, decl.Arity, len(f.Args))
+		}
+		args, err := decodeArgs(f.Args, false)
+		if err != nil {
+			return nil, fmt.Errorf("facts[%d]: %v", i, err)
+		}
+		facts[i] = datalog.NewFact(f.Pred, args...)
+	}
+	return facts, nil
+}

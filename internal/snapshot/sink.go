@@ -18,9 +18,10 @@ type Sink interface {
 }
 
 // FileSink atomically replaces Path with each checkpoint: the encoding
-// is written to a temporary file in the same directory, synced, and
-// renamed over Path, so a crash mid-write leaves the previous
-// checkpoint intact rather than a torn file.
+// is written to a temporary file in the same directory, synced, renamed
+// over Path, and the directory is synced, so a crash mid-write leaves
+// the previous checkpoint intact rather than a torn file — and a power
+// cut after the rename cannot forget the rename itself.
 type FileSink struct {
 	Path string
 }
@@ -56,6 +57,28 @@ func WriteFile(path string, s *Snapshot) error {
 	}
 	if err := os.Rename(tmp.Name(), path); err != nil {
 		return fmt.Errorf("snapshot: %w", err)
+	}
+	// The rename is atomic but not durable until the directory itself
+	// is synced: a power cut can otherwise forget the new dirent and
+	// resurrect the old file — or leave neither.
+	if err := syncDir(dir); err != nil {
+		return err
+	}
+	return nil
+}
+
+// syncDir fsyncs a directory, making renames within it durable.
+func syncDir(dir string) error {
+	if err := faults.Check(faults.SnapshotDirSync); err != nil {
+		return fmt.Errorf("snapshot: syncing directory %s: %w", dir, err)
+	}
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("snapshot: %w", err)
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil {
+		return fmt.Errorf("snapshot: syncing directory %s: %w", dir, err)
 	}
 	return nil
 }

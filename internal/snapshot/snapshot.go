@@ -13,11 +13,12 @@
 // the one unsound case (resuming against a *different* program)
 // impossible to hit silently.
 //
-// # Format (version 1)
+// # Format (version 2)
 //
 //	magic   "MDLSNAP" + version byte
 //	payload fingerprint[32]
 //	        stats: components, rounds, firings, derived (uvarint each)
+//	        seq (uvarint): commit-sequence watermark (version ≥ 2)
 //	        npreds, then per predicate (sorted by key):
 //	          key, flags (hasCost|hasDefault<<1), lattice name if cost,
 //	          nrows, then per row (canonical row order):
@@ -47,8 +48,10 @@ import (
 	"repro/internal/val"
 )
 
-// Version is the current snapshot format version.
-const Version = 1
+// Version is the current snapshot format version. Version 2 added the
+// commit-sequence watermark; version-1 snapshots still decode (their
+// watermark reads as 0).
+const Version = 2
 
 const magic = "MDLSNAP"
 
@@ -82,7 +85,13 @@ type Stats struct {
 type Snapshot struct {
 	Fingerprint [32]byte
 	Stats       Stats
-	DB          *relation.DB
+	// Seq is the serve tier's commit-sequence watermark: the snapshot
+	// subsumes every logged assert batch with sequence number ≤ Seq, so
+	// WAL replay over it starts at Seq+1 and compaction may drop
+	// segments it covers. 0 for engine checkpoints taken mid-solve and
+	// for version-1 snapshots.
+	Seq uint64
+	DB  *relation.DB
 }
 
 // Fingerprint hashes a program's canonical printing — rules,
@@ -103,6 +112,7 @@ func Encode(s *Snapshot) []byte {
 	putUvarint(&b, uint64(s.Stats.Rounds))
 	putUvarint(&b, uint64(s.Stats.Firings))
 	putUvarint(&b, uint64(s.Stats.Derived))
+	putUvarint(&b, s.Seq)
 
 	// Only non-empty relations are written: lazily materialized empty
 	// relations carry no information, and skipping them makes encoding
@@ -158,8 +168,9 @@ func Decode(data []byte, schemas ast.Schemas) (*Snapshot, error) {
 	if string(data[:len(magic)]) != magic {
 		return nil, fmt.Errorf("%w: bad magic", ErrCorrupt)
 	}
-	if v := data[len(magic)]; v != Version {
-		return nil, fmt.Errorf("%w: got version %d, support version %d", ErrVersion, v, Version)
+	version := data[len(magic)]
+	if version != 1 && version != Version {
+		return nil, fmt.Errorf("%w: got version %d, support versions 1-%d", ErrVersion, version, Version)
 	}
 	payload, trailer := data[:len(data)-sha256.Size], data[len(data)-sha256.Size:]
 	if sum := sha256.Sum256(payload); !bytes.Equal(sum[:], trailer) {
@@ -175,6 +186,11 @@ func Decode(data []byte, schemas ast.Schemas) (*Snapshot, error) {
 	var err error
 	if s.Stats, err = d.stats(); err != nil {
 		return nil, err
+	}
+	if version >= 2 {
+		if s.Seq, err = d.uvarint("commit watermark"); err != nil {
+			return nil, err
+		}
 	}
 
 	// Schema map for the restored DB: seeded from the caller's (shared
@@ -486,8 +502,9 @@ func splitKey(s string) (string, int, error) {
 	return s[:i], arity, nil
 }
 
-// Equal reports whether two snapshots carry the same fingerprint, stats
-// and interpretation (lattice equality on every relation).
+// Equal reports whether two snapshots carry the same fingerprint,
+// stats, watermark and interpretation (lattice equality on every
+// relation).
 func Equal(a, b *Snapshot) bool {
-	return a.Fingerprint == b.Fingerprint && a.Stats == b.Stats && a.DB.Equal(b.DB, nil)
+	return a.Fingerprint == b.Fingerprint && a.Stats == b.Stats && a.Seq == b.Seq && a.DB.Equal(b.DB, nil)
 }

@@ -2,6 +2,7 @@ package snapshot
 
 import (
 	"bytes"
+	"crypto/sha256"
 	"errors"
 	"os"
 	"path/filepath"
@@ -211,6 +212,72 @@ func TestReadFileShortRead(t *testing.T) {
 		t.Fatalf("short read: err = %v, want ErrCorrupt", err)
 	}
 	// Disarmed again, the file is intact.
+	if _, err := ReadFile(path, schemas); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSeqWatermarkRoundTrip(t *testing.T) {
+	s, schemas := testSnapshot(t)
+	s.Seq = 1<<40 + 17
+	got, err := Decode(Encode(s), schemas)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Seq != s.Seq {
+		t.Fatalf("seq %d, want %d", got.Seq, s.Seq)
+	}
+	if !Equal(s, got) {
+		t.Fatal("round trip changed the snapshot")
+	}
+	// Seq participates in Equal.
+	got.Seq++
+	if Equal(s, got) {
+		t.Fatal("Equal ignored the commit watermark")
+	}
+}
+
+func TestDecodeAcceptsVersion1(t *testing.T) {
+	s, schemas := testSnapshot(t)
+	data := Encode(s)
+	// Build the equivalent version-1 bytes by hand: drop the Seq
+	// uvarint (a single zero byte here — every stat in testSnapshot is
+	// below 128, so the four stats uvarints are one byte each), rewrite
+	// the version byte, and recompute the trailer.
+	seqOff := len(magic) + 1 + len(s.Fingerprint) + 4
+	payload := append([]byte{}, data[:len(data)-32]...)
+	if payload[seqOff] != 0 {
+		t.Fatalf("expected zero Seq uvarint at offset %d, got %d", seqOff, payload[seqOff])
+	}
+	v1 := append(payload[:seqOff], payload[seqOff+1:]...)
+	v1[len(magic)] = 1
+	sum := sha256.Sum256(v1)
+	v1 = append(v1, sum[:]...)
+	got, err := Decode(v1, schemas)
+	if err != nil {
+		t.Fatalf("decoding version-1 snapshot: %v", err)
+	}
+	if got.Seq != 0 {
+		t.Fatalf("version-1 snapshot decoded with seq %d, want 0", got.Seq)
+	}
+	if !Equal(s, got) {
+		t.Fatal("version-1 decode lost data")
+	}
+}
+
+func TestFileSinkDirSyncFailure(t *testing.T) {
+	faults.Reset()
+	t.Cleanup(faults.Reset)
+	s, schemas := testSnapshot(t)
+	path := filepath.Join(t.TempDir(), "ckpt.snap")
+	faults.Arm(faults.Fault{Point: faults.SnapshotDirSync, Sticky: true})
+	if err := WriteFile(path, s); !errors.Is(err, faults.ErrInjected) {
+		t.Fatalf("err = %v, want injected dir-sync failure", err)
+	}
+	faults.Reset()
+	if err := WriteFile(path, s); err != nil {
+		t.Fatal(err)
+	}
 	if _, err := ReadFile(path, schemas); err != nil {
 		t.Fatal(err)
 	}

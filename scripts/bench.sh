@@ -31,9 +31,15 @@ echo "bench: running go test -bench $BENCH_PATTERN ${BENCHTIME:+-benchtime $BENC
 NCPU=$(getconf _NPROCESSORS_ONLN 2>/dev/null || echo 1)
 GMP=${GOMAXPROCS:-$NCPU}
 
+# Engine benchmarks never touch the serve tier's write-ahead log, so
+# they run with durability off; the field makes that explicit so these
+# numbers are never read as comparable to a loadgen run that paid for
+# fsyncs (see the wal_fsync field of loadgen reports).
+WAL_FSYNC=${BENCH_WAL_FSYNC:-off}
+
 # Parse `BenchmarkName-N  iters  ns/op  B/op  allocs/op` lines into JSON.
-awk -v host="$(uname -sm)" -v go="$(go env GOVERSION)" -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" -v gmp="$GMP" '
-BEGIN { printf "{\n  \"date\": \"%s\",\n  \"go\": \"%s\",\n  \"host\": \"%s\",\n  \"gomaxprocs\": %s,\n  \"default_parallelism\": %s,\n  \"benchmarks\": [", date, go, host, gmp, gmp; n = 0 }
+awk -v host="$(uname -sm)" -v go="$(go env GOVERSION)" -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" -v gmp="$GMP" -v walfsync="$WAL_FSYNC" '
+BEGIN { printf "{\n  \"date\": \"%s\",\n  \"go\": \"%s\",\n  \"host\": \"%s\",\n  \"gomaxprocs\": %s,\n  \"default_parallelism\": %s,\n  \"wal_fsync\": \"%s\",\n  \"benchmarks\": [", date, go, host, gmp, gmp, walfsync; n = 0 }
 /^Benchmark/ && /ns\/op/ {
     name = $1; sub(/-[0-9]+$/, "", name)
     ns = ""; bytes = ""; allocs = ""

@@ -9,6 +9,8 @@
 #
 #   scripts/loadgen.sh                    # default: 10s steady + 5s overload
 #   LOADGEN_DURATION=2s LOADGEN_OVERLOAD_DURATION=1s scripts/loadgen.sh   # smoke
+#   LOADGEN_WAL_FSYNC=batch scripts/loadgen.sh   # durable acks: serve with a
+#                                                # WAL at this fsync policy
 set -eu
 
 ROOT=$(cd "$(dirname "$0")/.." && pwd)
@@ -22,6 +24,7 @@ DURATION=${LOADGEN_DURATION:-10s}
 RATE=${LOADGEN_RATE:-300}
 OVER_DURATION=${LOADGEN_OVERLOAD_DURATION:-5s}
 OVER_RATE=${LOADGEN_OVERLOAD_RATE:-2000}
+WAL_FSYNC=${LOADGEN_WAL_FSYNC:-}
 PID=""
 
 cleanup() {
@@ -39,9 +42,17 @@ fail() {
 echo "loadgen: building mdl and mdlload"
 ( cd "$ROOT" && go build -o "$WORK/mdl" ./cmd/mdl && go build -o "$WORK/mdlload" ./cmd/mdlload )
 
-# Tight admission limits so the overload phase actually sheds.
+# Tight admission limits so the overload phase actually sheds. With
+# LOADGEN_WAL_FSYNC set, every commit pays for durability too — the
+# report records the policy so the numbers aren't compared blind.
+WAL_ARGS=""
+if [ -n "$WAL_FSYNC" ]; then
+    WAL_ARGS="-wal $WORK/wal -wal-fsync $WAL_FSYNC"
+    echo "loadgen: durable acks enabled (wal-fsync=$WAL_FSYNC)"
+fi
 echo "loadgen: starting server on $ADDR"
-"$WORK/mdl" serve -addr "$ADDR" -assert-queue 32 -max-inflight 64 \
+# shellcheck disable=SC2086 — WAL_ARGS is intentionally word-split
+"$WORK/mdl" serve -addr "$ADDR" -assert-queue 32 -max-inflight 64 $WAL_ARGS \
     "$ROOT/examples/programs/shortestpath.mdl" >"$LOG" 2>&1 &
 PID=$!
 
