@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: all build vet test race fuzz crash-test parallel-test chaos-test wal-crash-test serve-smoke loadgen loadgen-smoke bench bench-smoke bench-smoke-parallel ci clean
+.PHONY: all build vet test race fuzz crash-test parallel-test chaos-test wal-crash-test executor-test serve-smoke loadgen loadgen-smoke bench bench-smoke bench-smoke-parallel bench-regression ci clean
 
 all: build
 
@@ -57,6 +57,14 @@ wal-crash-test:
 	$(GO) test -race -run 'WAL|SeqWatermark|DirSync|Watermark' ./internal/wal ./internal/snapshot ./internal/server ./datalog ./cmd/mdl
 	$(GO) test -race -run 'TestChaosWALSigkillRecovery' -count=1 ./cmd/mdl
 
+# Streaming-executor suite under the race detector: the operator
+# property tests, and the tuple-vs-stream differential over every
+# example program (byte-identical models, traces, stats, checkpoints,
+# at parallelism 1/2/N).
+executor-test:
+	$(GO) test -race ./internal/exec
+	$(GO) test -race -run 'Executor|DoesNotAllocate' ./datalog ./internal/core ./cmd/mdl
+
 # End-to-end smoke test of the mdl serve subsystem over real HTTP:
 # query, assert, explain, metrics, graceful shutdown, warm restart.
 serve-smoke:
@@ -88,7 +96,12 @@ bench-smoke-parallel:
 	BENCHTIME=1x BENCH_PATTERN='SolveParallel|SolveAtParallelism' \
 		BENCH_OUT=/tmp/bench-smoke-parallel.json sh scripts/bench.sh
 
-ci: vet build race fuzz crash-test parallel-test chaos-test wal-crash-test serve-smoke loadgen-smoke bench-smoke bench-smoke-parallel
+# Allocation-regression gate: fail if the streaming executor's
+# allocs/op on BenchmarkSolve exceeds 25% of the tuple executor's.
+bench-regression:
+	sh scripts/bench_regression.sh
+
+ci: vet build race fuzz crash-test parallel-test chaos-test wal-crash-test executor-test serve-smoke loadgen-smoke bench-smoke bench-smoke-parallel bench-regression
 
 clean:
 	$(GO) clean ./...

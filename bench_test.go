@@ -107,16 +107,27 @@ func BenchmarkExample21Averages(b *testing.B) {
 }
 
 // BenchmarkShortestPath (E3): the engine on the three graph topologies.
+// The unsuffixed runs keep their historical names (tuple executor); the
+// /stream runs measure the streaming relational-algebra executor on the
+// same instances.
 func BenchmarkShortestPath(b *testing.B) {
 	for _, kind := range []gen.GraphKind{gen.LayeredDAG, gen.CycleGraph, gen.RandomGraph} {
 		for _, n := range []int{32, 64, 128} {
 			g := gen.Graph(kind, n, 4*n, 9, int64(n))
-			en := mustEngine(b, programs.ShortestPath+gen.GraphFacts(g), core.Options{})
-			b.Run(fmt.Sprintf("%s/n=%d", kindName(kind), n), func(b *testing.B) {
-				for i := 0; i < b.N; i++ {
-					solveB(b, en)
+			src := programs.ShortestPath + gen.GraphFacts(g)
+			for _, exe := range []core.Executor{core.ExecutorTuple, core.ExecutorStream} {
+				en := mustEngine(b, src, core.Options{Limits: core.Limits{Executor: exe}})
+				name := fmt.Sprintf("%s/n=%d", kindName(kind), n)
+				if exe == core.ExecutorStream {
+					name += "/stream"
 				}
-			})
+				b.Run(name, func(b *testing.B) {
+					b.ReportAllocs()
+					for i := 0; i < b.N; i++ {
+						solveB(b, en)
+					}
+				})
+			}
 		}
 	}
 }
@@ -163,14 +174,24 @@ func BenchmarkCompanyControl(b *testing.B) {
 	}
 }
 
-// BenchmarkParty (E5): engine vs the direct propagation.
+// BenchmarkParty (E5): engine (both executors) vs the direct
+// propagation.
 func BenchmarkParty(b *testing.B) {
 	for _, n := range []int{64, 256} {
 		p := gen.Party(n, 5, 3, int64(n))
-		en := mustEngine(b, programs.Party+gen.PartyFacts(p), core.Options{})
+		src := programs.Party + gen.PartyFacts(p)
+		en := mustEngine(b, src, core.Options{})
 		b.Run(fmt.Sprintf("engine/n=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				solveB(b, en)
+			}
+		})
+		enStream := mustEngine(b, src, core.Options{Limits: core.Limits{Executor: core.ExecutorStream}})
+		b.Run(fmt.Sprintf("engine-stream/n=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				solveB(b, enStream)
 			}
 		})
 		b.Run(fmt.Sprintf("direct/n=%d", n), func(b *testing.B) {

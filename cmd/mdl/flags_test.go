@@ -25,6 +25,7 @@ func TestConflictingFlagCombinations(t *testing.T) {
 		{"check with stats", []string{"-check", "-stats", f}},
 		{"check with pprof", []string{"-check", "-pprof-addr", "127.0.0.1:0", f}},
 		{"check with parallel", []string{"-check", "-parallel", "2", f}},
+		{"check with executor", []string{"-check", "-executor", "stream", f}},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -176,6 +177,44 @@ func TestParallelFlag(t *testing.T) {
 	}
 }
 
+// TestExecutorFlag: the backend must be one of the two spellings, and
+// either accepted value prints the same model and the same -stats
+// totals (the executor-equivalence contract, observed end to end
+// through the CLI).
+func TestExecutorFlag(t *testing.T) {
+	f := writeProgram(t, "sp.mdl", shortestPath)
+	_, errOut, code := runMdl(t, "-executor", "vectorized", f)
+	if code != exitUsage {
+		t.Fatalf("-executor vectorized: exit %d, want %d (usage)", code, exitUsage)
+	}
+	if !strings.Contains(errOut, `-executor must be "stream" or "tuple"`) {
+		t.Fatalf("stderr must explain the bad value:\n%s", errOut)
+	}
+	tupOut, tupStats, code := runMdl(t, "-executor", "tuple", "-stats", f)
+	if code != exitOK {
+		t.Fatalf("-executor tuple: exit %d\n%s", code, tupStats)
+	}
+	strOut, strStats, code := runMdl(t, "-executor", "stream", "-stats", f)
+	if code != exitOK {
+		t.Fatalf("-executor stream: exit %d\n%s", code, strStats)
+	}
+	if strOut != tupOut {
+		t.Fatalf("-executor stream output differs from tuple:\n%s\nvs\n%s", strOut, tupOut)
+	}
+	statLine := func(s string) string {
+		for _, line := range strings.Split(s, "\n") {
+			if strings.HasPrefix(line, "components=") {
+				return line
+			}
+		}
+		t.Fatalf("no stats totals line in:\n%s", s)
+		return ""
+	}
+	if got, want := statLine(strStats), statLine(tupStats); got != want {
+		t.Fatalf("-executor stream stats totals differ:\n%s\nvs\n%s", got, want)
+	}
+}
+
 // TestServeFlagValidation covers the serve-only observability flags.
 func TestServeFlagValidation(t *testing.T) {
 	f := writeProgram(t, "sp.mdl", shortestPath)
@@ -188,6 +227,7 @@ func TestServeFlagValidation(t *testing.T) {
 		{"negative slow request", []string{"-slow-request", "-1s", f}, "-slow-request must be ≥ 0"},
 		{"zero parallel", []string{"-parallel", "0", f}, "-parallel must be ≥ 1"},
 		{"negative parallel", []string{"-parallel", "-3", f}, "-parallel must be ≥ 1"},
+		{"bad executor", []string{"-executor", "vectorized", f}, `-executor must be "stream" or "tuple"`},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

@@ -14,6 +14,9 @@
 //	-max-facts N   derivation budget per solve (0 = unlimited)
 //	-parallel N    evaluation workers (default: one per CPU; 1 = the
 //	               sequential engine; output is identical either way)
+//	-executor x    rule-body execution backend: "stream" (lazy operator
+//	               pipelines, low allocation) or "tuple" (the reference
+//	               interpreter); output is identical either way
 //	-timeout d     wall-clock budget for evaluation, e.g. 1s (0 = none)
 //	-query pred    print only the tuples of one predicate
 //	-stats         print evaluation statistics to stderr, including
@@ -101,6 +104,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	maxRounds := fs.Int("max-rounds", 0, "fixpoint round bound per component")
 	maxFacts := fs.Int64("max-facts", 0, "derivation budget per solve (0 = unlimited)")
 	parallel := fs.Int("parallel", 0, "evaluation workers (default one per CPU; 1 = sequential)")
+	executor := fs.String("executor", "", `execution backend: "stream" or "tuple"`)
 	timeout := fs.Duration("timeout", 0, "wall-clock budget for evaluation, e.g. 1s (0 = none)")
 	query := fs.String("query", "", "print only this predicate")
 	stats := fs.Bool("stats", false, "print evaluation statistics")
@@ -131,15 +135,21 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	if *ckptEvery < 0 {
 		return usage("-checkpoint-every must be ≥ 0")
 	}
-	timeoutSet, parallelSet := false, false
+	timeoutSet, parallelSet, executorSet := false, false, false
 	fs.Visit(func(f *flag.Flag) {
 		switch f.Name {
 		case "timeout":
 			timeoutSet = true
 		case "parallel":
 			parallelSet = true
+		case "executor":
+			executorSet = true
 		}
 	})
+	exe, err := datalog.ParseExecutor(*executor)
+	if err != nil {
+		return usage(`-executor must be "stream" or "tuple"`)
+	}
 	if timeoutSet && *timeout <= 0 {
 		return usage("-timeout must be > 0")
 	}
@@ -169,6 +179,9 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	if *check && parallelSet {
 		return usage("-check does not evaluate; it cannot be combined with -parallel")
 	}
+	if *check && executorSet {
+		return usage("-check does not evaluate; it cannot be combined with -executor")
+	}
 	if fs.NArg() == 0 {
 		fmt.Fprintln(stderr, "usage: mdl [flags] program.mdl ...")
 		fs.PrintDefaults()
@@ -191,6 +204,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		MaxFacts:    *maxFacts,
 		MaxDuration: *timeout,
 		Parallelism: *parallel,
+		Executor:    exe,
 		SkipChecks:  *unchecked || *check,
 		WFSFallback: *wfsFallback,
 		Trace:       *explain != "",

@@ -23,6 +23,9 @@
 //	-max-facts N   derivation budget per solve and per assert batch
 //	-parallel N    evaluation workers per solve (default: one per CPU;
 //	               1 = the sequential engine; output is identical)
+//	-executor x    rule-body execution backend: "stream" (lazy operator
+//	               pipelines, low allocation) or "tuple" (the reference
+//	               interpreter); output is identical either way
 //	-timeout d     wall-clock budget per solve and per assert batch
 //	-trace         record provenance for /v1/explain (default true)
 //	-checkpoint f  warm-start from f when it exists; flush a final
@@ -92,6 +95,7 @@ func runServe(ctx context.Context, args []string, stdout, stderr io.Writer) int 
 	maxRounds := fs.Int("max-rounds", 0, "fixpoint round bound per component")
 	maxFacts := fs.Int64("max-facts", 0, "derivation budget per solve and per assert batch (0 = unlimited)")
 	parallel := fs.Int("parallel", 0, "evaluation workers per solve (default one per CPU; 1 = sequential)")
+	executor := fs.String("executor", "", `execution backend: "stream" or "tuple"`)
 	timeout := fs.Duration("timeout", 0, "wall-clock budget per solve and per assert batch (0 = none)")
 	trace := fs.Bool("trace", true, "record provenance for /v1/explain")
 	ckptPath := fs.String("checkpoint", "", "warm-start from this snapshot when present; flush to it on shutdown")
@@ -133,6 +137,10 @@ func runServe(ctx context.Context, args []string, stdout, stderr io.Writer) int 
 	if parallelSet && *parallel < 1 {
 		return usage("-parallel must be ≥ 1")
 	}
+	exe, err := datalog.ParseExecutor(*executor)
+	if err != nil {
+		return usage(`-executor must be "stream" or "tuple"`)
+	}
 	if fs.NArg() == 0 {
 		fmt.Fprintln(stderr, "usage: mdl serve [flags] program.mdl ...")
 		fs.PrintDefaults()
@@ -173,6 +181,7 @@ func runServe(ctx context.Context, args []string, stdout, stderr io.Writer) int 
 		MaxFacts:    *maxFacts,
 		MaxDuration: *timeout,
 		Parallelism: *parallel,
+		Executor:    exe,
 		Trace:       *trace,
 	}
 	specs, code := serveSpecs(fs.Args(), *join, *name, opts, stderr)

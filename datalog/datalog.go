@@ -80,6 +80,35 @@ const (
 	Naive     = core.Naive
 )
 
+// Executor selects the rule-body evaluation backend.
+type Executor = core.Executor
+
+// The executors: ExecutorStream runs compiled streaming operator
+// pipelines — lazy iterators with index-aware scans and delta-driven
+// probes — over pooled register machines; ExecutorTuple (currently the
+// default) is the recursive tuple-at-a-time interpreter. Both produce
+// byte-identical models, traces and stats; the knob exists for
+// benchmarking, differential testing and as an escape hatch.
+const (
+	ExecutorDefault = core.ExecutorDefault
+	ExecutorTuple   = core.ExecutorTuple
+	ExecutorStream  = core.ExecutorStream
+)
+
+// ParseExecutor maps the command-line spellings "stream" and "tuple"
+// (and "" for the default) to an Executor.
+func ParseExecutor(s string) (Executor, error) {
+	switch s {
+	case "":
+		return ExecutorDefault, nil
+	case "stream":
+		return ExecutorStream, nil
+	case "tuple":
+		return ExecutorTuple, nil
+	}
+	return ExecutorDefault, fmt.Errorf("datalog: unknown executor %q (want \"stream\" or \"tuple\")", s)
+}
+
 // Options configures evaluation; the zero value is a good default.
 type Options struct {
 	Strategy Strategy
@@ -125,6 +154,11 @@ type Options struct {
 	// CPU (runtime.GOMAXPROCS); 1 selects exactly the sequential
 	// engine.
 	Parallelism int
+	// Executor selects the rule-body evaluation backend (streaming
+	// operator pipelines by default; ExecutorTuple for the
+	// tuple-at-a-time interpreter). Both backends produce byte-identical
+	// results.
+	Executor Executor
 	// Sink, when non-nil, receives the engine's typed event stream —
 	// solve/component/round boundaries, rule passes, checkpoint
 	// flushes and resource warnings. Events are emitted synchronously
@@ -162,6 +196,7 @@ func Load(src string, opts Options) (*Program, error) {
 		CheckEvery:       opts.CheckEvery,
 		DivergenceStreak: opts.DivergenceStreak,
 		Parallelism:      opts.Parallelism,
+		Executor:         opts.Executor,
 	}
 	en, err := core.New(prog, core.Options{
 		Strategy:    opts.Strategy,
@@ -329,6 +364,13 @@ func WithDivergenceStreak(n int) SolveOption {
 // every parallelism level.
 func WithParallelism(n int) SolveOption {
 	return func(c *solveConfig) { c.lim.Parallelism = n }
+}
+
+// WithExecutor overrides the rule-body execution backend for this
+// solve. Both executors produce byte-identical models, traces and
+// stats; ExecutorStream avoids per-tuple allocation.
+func WithExecutor(e Executor) SolveOption {
+	return func(c *solveConfig) { c.lim.Executor = e }
 }
 
 // Solve evaluates the program over the given extensional facts and

@@ -1,0 +1,188 @@
+package datalog_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"testing"
+
+	"repro/datalog"
+)
+
+// The executor contract (docs/ARCHITECTURE.md): the streaming
+// relational-algebra executor and the tuple-at-a-time interpreter are
+// interchangeable backends — for every program, every parallelism level
+// and every incremental chain, the model, fact insertion order, traces
+// and Stats totals are byte-identical. These tests enforce the contract
+// differentially over every shipped example program.
+
+// solveExecutor loads one example with tracing, the given executor and
+// worker count, and solves it.
+func solveExecutor(t *testing.T, name string, exe datalog.Executor, par int) (*datalog.Program, *datalog.Model, datalog.Stats) {
+	t.Helper()
+	src, err := os.ReadFile(filepath.Join(exampleDir, name))
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := exampleOptions(name)
+	opts.Trace = true
+	opts.Executor = exe
+	opts.Parallelism = par
+	p, err := datalog.Load(string(src), opts)
+	if err != nil {
+		t.Fatalf("%s: %v", name, err)
+	}
+	m, stats, err := p.Solve()
+	if err != nil {
+		t.Fatalf("%s executor=%v parallelism=%d: %v", name, exe, par, err)
+	}
+	return p, m, stats
+}
+
+// TestExecutorDifferential solves every shipped example program
+// (omega.mdl diverges by design and is covered separately) under the
+// tuple interpreter and under the streaming executor at parallelism 1,
+// 2 and GOMAXPROCS, asserting model, fact order, traces and stats agree
+// exactly.
+func TestExecutorDifferential(t *testing.T) {
+	entries, err := os.ReadDir(exampleDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		name := e.Name()
+		if !strings.HasSuffix(name, ".mdl") || name == "omega.mdl" {
+			continue
+		}
+		t.Run(name, func(t *testing.T) {
+			refP, refM, refStats := solveExecutor(t, name, datalog.ExecutorTuple, 1)
+			refModel := refM.String()
+			refFacts := factFingerprint(refM)
+			refTrace := traceFingerprint(t, refP, refM)
+			for _, par := range []int{1, 2, runtime.GOMAXPROCS(0)} {
+				strP, strM, strStats := solveExecutor(t, name, datalog.ExecutorStream, par)
+				if got := strM.String(); got != refModel {
+					t.Fatalf("stream parallelism %d model differs:\n%s\nwant:\n%s", par, got, refModel)
+				}
+				if got := factFingerprint(strM); got != refFacts {
+					t.Fatalf("stream parallelism %d fact order differs:\n%s\nwant:\n%s", par, got, refFacts)
+				}
+				if got := traceFingerprint(t, strP, strM); got != refTrace {
+					t.Fatalf("stream parallelism %d traces differ:\n%s\nwant:\n%s", par, got, refTrace)
+				}
+				if got, want := fmt.Sprintf("%+v", normStats(strStats)), fmt.Sprintf("%+v", normStats(refStats)); got != want {
+					t.Fatalf("stream parallelism %d stats differ:\n%s\nwant:\n%s", par, got, want)
+				}
+			}
+		})
+	}
+}
+
+// TestExecutorDivergenceParity runs the intentionally divergent
+// omega.mdl under both executors: the ω-limit detector must trip either
+// way, with identical structured errors (component, round, offending
+// group, trajectory) and an identical partial model.
+func TestExecutorDivergenceParity(t *testing.T) {
+	run := func(exe datalog.Executor) (string, string) {
+		t.Helper()
+		src, err := os.ReadFile(filepath.Join(exampleDir, "omega.mdl"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		opts := exampleOptions("omega.mdl")
+		opts.Executor = exe
+		opts.DivergenceStreak = 50
+		p, err := datalog.Load(string(src), opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, _, err := p.Solve()
+		if !errors.Is(err, datalog.ErrDiverged) {
+			t.Fatalf("executor=%v err = %v, want ErrDiverged", exe, err)
+		}
+		if m == nil {
+			t.Fatalf("executor=%v divergence must return the partial model", exe)
+		}
+		return err.Error(), m.String()
+	}
+	tupErr, tupModel := run(datalog.ExecutorTuple)
+	strErr, strModel := run(datalog.ExecutorStream)
+	if strErr != tupErr {
+		t.Fatalf("divergence errors differ:\nstream: %s\ntuple:  %s", strErr, tupErr)
+	}
+	if strModel != tupModel {
+		t.Fatalf("partial models differ:\nstream:\n%s\ntuple:\n%s", strModel, tupModel)
+	}
+}
+
+// TestExecutorSolveMoreChain extends a model twice through the
+// incremental path under each executor; the chained models and
+// cumulative stats must match the tuple interpreter's exactly. The
+// executor is a Load-time option here, exercising the engine's
+// incremental entry point with both backends.
+func TestExecutorSolveMoreChain(t *testing.T) {
+	chain := func(exe datalog.Executor) (string, string, datalog.Stats) {
+		t.Helper()
+		p, m, _ := solveExecutor(t, "shortestpath.mdl", exe, 1)
+		m2, _, err := p.SolveMore(m,
+			datalog.NewFact("arc", datalog.Sym("f"), datalog.Sym("a"), datalog.Num(1)),
+			datalog.NewFact("arc", datalog.Sym("e"), datalog.Sym("f"), datalog.Num(2)))
+		if err != nil {
+			t.Fatalf("executor=%v first SolveMore: %v", exe, err)
+		}
+		m3, stats, err := p.SolveMore(m2,
+			datalog.NewFact("arc", datalog.Sym("f"), datalog.Sym("d"), datalog.Num(1)))
+		if err != nil {
+			t.Fatalf("executor=%v second SolveMore: %v", exe, err)
+		}
+		return m3.String(), factFingerprint(m3), stats
+	}
+	refModel, refFacts, refStats := chain(datalog.ExecutorTuple)
+	strModel, strFacts, strStats := chain(datalog.ExecutorStream)
+	if strModel != refModel {
+		t.Fatalf("stream chained model differs:\n%s\nwant:\n%s", strModel, refModel)
+	}
+	if strFacts != refFacts {
+		t.Fatalf("stream chained fact order differs:\n%s\nwant:\n%s", strFacts, refFacts)
+	}
+	if got, want := fmt.Sprintf("%+v", normStats(strStats)), fmt.Sprintf("%+v", normStats(refStats)); got != want {
+		t.Fatalf("stream chained stats differ:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+// TestExecutorCheckpointParity checkpoints a solve under each executor
+// at every round boundary; the final checkpoint bytes must be
+// byte-identical (the durable format must not leak the backend).
+func TestExecutorCheckpointParity(t *testing.T) {
+	snap := func(exe datalog.Executor) []byte {
+		t.Helper()
+		src, err := os.ReadFile(filepath.Join(exampleDir, "shortestpath.mdl"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		opts := exampleOptions("shortestpath.mdl")
+		opts.Executor = exe
+		p, err := datalog.Load(string(src), opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		path := filepath.Join(t.TempDir(), "model.ckpt")
+		if _, _, err := p.SolveContext(context.Background(), nil, datalog.WithCheckpoint(datalog.FileCheckpoint(path), 1)); err != nil {
+			t.Fatalf("executor=%v solve: %v", exe, err)
+		}
+		b, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+	tup := snap(datalog.ExecutorTuple)
+	str := snap(datalog.ExecutorStream)
+	if string(tup) != string(str) {
+		t.Fatalf("checkpoint bytes differ between executors (%d vs %d bytes)", len(tup), len(str))
+	}
+}

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 
+	"repro/internal/exec"
 	"repro/internal/lattice"
 	"repro/internal/val"
 )
@@ -22,7 +23,7 @@ import (
 //
 // onlyGroups, when non-nil, limits evaluation to the listed groups (the
 // semi-naive Δ-driven restriction; see solveSemiNaive).
-func (ev *evaluator) aggregate(s *aggStep, stepIdx int, onlyGroups map[string][]val.T, e *env, cont func() error) error {
+func (ev *evaluator) aggregate(s *aggStep, stepIdx int, onlyGroups map[string]exec.GroupRef, e *env, cont func() error) error {
 	allBound := true
 	for _, v := range s.groupVars {
 		if !e.bound[v] {
@@ -39,18 +40,18 @@ func (ev *evaluator) aggregate(s *aggStep, stepIdx int, onlyGroups map[string][]
 	// recurse in (indexed) point mode.
 	if onlyGroups != nil && !allBound {
 		for _, gk := range sortedKeys(onlyGroups) {
-			keyVals := onlyGroups[gk]
+			ref := onlyGroups[gk]
 			var saved []int
 			ok := true
 			for j, v := range s.groupVars {
 				if e.bound[v] {
-					if !val.Equal(e.vals[v], keyVals[j]) {
+					if !val.Equal(e.vals[v], ref.At(j)) {
 						ok = false
 						break
 					}
 					continue
 				}
-				e.vals[v] = keyVals[j]
+				e.vals[v] = ref.At(j)
 				e.bound[v] = true
 				saved = append(saved, v)
 			}

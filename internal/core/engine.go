@@ -12,6 +12,7 @@ import (
 	"repro/internal/ast"
 	"repro/internal/consistency"
 	"repro/internal/deps"
+	"repro/internal/exec"
 	"repro/internal/lattice"
 	"repro/internal/monotone"
 	"repro/internal/obs"
@@ -98,6 +99,11 @@ type Engine struct {
 	compLDB  [][]ast.PredKey
 	// sink is Options.Sink (nil = no event emission).
 	sink obs.Sink
+	// exe is the executor resolved for the current solve (set at the top
+	// of fixpoint / fixpointParallel / SolveMoreFrom, before any pass
+	// constructs a runner). Engines are not safe for concurrent solves,
+	// so a per-solve field is sufficient.
+	exe Executor
 	// trace holds the provenance of the most recent traced Solve.
 	trace map[string]*Derivation
 }
@@ -253,6 +259,7 @@ func (en *Engine) Resume(ctx context.Context, prev *relation.DB, lim Limits, bas
 // fixpoint runs the iterated fixpoint of §6.3 over db in place,
 // starting the stats from base.
 func (en *Engine) fixpoint(ctx context.Context, db *relation.DB, lim Limits, base Stats) (_ *relation.DB, _ Stats, err error) {
+	en.exe = resolveExecutor(lim)
 	if par := effectiveParallelism(lim); par > 1 {
 		return en.fixpointParallel(ctx, db, lim, base, par)
 	}
@@ -383,6 +390,33 @@ func headTuple(p *plan, e *env) (args []val.T, cost lattice.Elem, err error) {
 	return args, cost, nil
 }
 
+// headTupleInto is headTuple projecting into the plan's reusable head
+// buffer. Callers that retain args beyond the immediate insert (the
+// parallel scheduler's speculative buffers) must use headTuple instead.
+func headTupleInto(p *plan, e *env) (args []val.T, cost lattice.Elem, err error) {
+	hs := &p.head
+	args = p.hbuf
+	for j, v := range hs.argVar {
+		if v >= 0 {
+			args[j] = e.vals[v]
+		} else {
+			args[j] = hs.argVal[j]
+		}
+	}
+	if hs.pi.HasCost {
+		if hs.costVar >= 0 {
+			cost = e.vals[hs.costVar]
+		} else {
+			cost = hs.costVal
+		}
+		if !hs.pi.L.Contains(cost) {
+			return nil, lattice.Elem{}, fmt.Errorf("core: rule %q derived cost %s outside lattice %s",
+				p.rule, cost, hs.pi.L.Name())
+		}
+	}
+	return args, cost, nil
+}
+
 // solveNaive iterates J ← T_P(J, I) until lattice equality (within
 // Epsilon) over the component's predicates.
 func (en *Engine) solveNaive(g *guard, db *relation.DB, ci int, c *deps.Component, ps []*plan, stats *Stats) error {
@@ -404,11 +438,11 @@ func (en *Engine) solveNaive(g *guard, db *relation.DB, ci int, c *deps.Componen
 		stats.Rounds++
 		roundDerived := stats.Derived
 		out := relation.NewDB(db.Schemas)
-		ev := &evaluator{db: db, trace: en.opts.Trace, check: g.check}
+		ev := newRunner(en.exe, db, 0, nil, nil, en.opts.Trace, g.check)
 		for _, p := range ps {
 			p := p
 			g.rule = p.rule
-			rf0, rd0, rp0 := ev.firings, stats.Derived, ev.probes
+			rf0, rd0, rp0 := ev.fir(), stats.Derived, ev.pr()
 			rt0 := time.Now()
 			err := ev.run(p, func(e *env) error {
 				args, cost, err := headTuple(p, e)
@@ -437,16 +471,16 @@ func (en *Engine) solveNaive(g *guard, db *relation.DB, ci int, c *deps.Componen
 				return nil
 			})
 			en.noteRule(&stats.Rules[p.idx], ci, round,
-				ev.firings-rf0, stats.Derived-rd0, ev.probes-rp0, time.Since(rt0).Nanoseconds())
+				ev.fir()-rf0, stats.Derived-rd0, ev.pr()-rp0, time.Since(rt0).Nanoseconds())
 			if err != nil {
 				return err
 			}
 		}
-		stats.Firings += ev.firings
-		stats.Probes += ev.probes
+		stats.Firings += ev.fir()
+		stats.Probes += ev.pr()
 		if en.sink != nil {
 			en.sink.Event(obs.Event{Kind: obs.RoundEnd, Component: ci, Round: round,
-				Firings: ev.firings, Derived: stats.Derived - roundDerived, Probes: ev.probes})
+				Firings: ev.fir(), Derived: stats.Derived - roundDerived, Probes: ev.pr()})
 		}
 		for k, r := range seed {
 			out.Rel(k).Join(r)
@@ -477,6 +511,14 @@ func (en *Engine) solveNaive(g *guard, db *relation.DB, ci int, c *deps.Componen
 type deltaSet struct {
 	rows map[ast.PredKey][]relation.Row
 	seen map[ast.PredKey]map[string]bool
+	// freeRows/freeSeen hold capacity recycled by reset, handed back out
+	// as the same predicate reappears in later rounds (keyed by
+	// predicate so the largest predicate keeps its large slice). Without
+	// this every round regrows its row slices and dedup maps from
+	// scratch, which is the second-largest bytes/op contributor after
+	// relation storage itself.
+	freeRows map[ast.PredKey][]relation.Row
+	freeSeen map[ast.PredKey]map[string]bool
 }
 
 func newDeltaSet() *deltaSet {
@@ -484,17 +526,76 @@ func newDeltaSet() *deltaSet {
 }
 
 func (d *deltaSet) add(k ast.PredKey, row relation.Row) {
-	s := d.seen[k]
-	if s == nil {
-		s = map[string]bool{}
-		d.seen[k] = s
+	d.addKey(k, row, nil)
+}
+
+// addKey is add with the tuple key prebuilt by the caller (nil rebuilds
+// it); the miss path converts once for map storage, the hit path does
+// not allocate.
+func (d *deltaSet) addKey(k ast.PredKey, row relation.Row, key []byte) {
+	s := d.seenFor(k)
+	if key == nil {
+		key = val.AppendKeyOf(nil, row.Args)
 	}
-	key := val.KeyOf(row.Args)
+	if s[string(key)] {
+		return
+	}
+	s[string(key)] = true
+	d.append(k, row)
+}
+
+// addInterned is addKey with the relation's interned key string (from
+// Relation.LookupKey), so even the miss path stores without allocating.
+func (d *deltaSet) addInterned(k ast.PredKey, row relation.Row, key string) {
+	s := d.seenFor(k)
 	if s[key] {
 		return
 	}
 	s[key] = true
-	d.rows[k] = append(d.rows[k], row)
+	d.append(k, row)
+}
+
+func (d *deltaSet) seenFor(k ast.PredKey) map[string]bool {
+	s := d.seen[k]
+	if s == nil {
+		if s = d.freeSeen[k]; s != nil {
+			delete(d.freeSeen, k)
+		} else {
+			s = map[string]bool{}
+		}
+		d.seen[k] = s
+	}
+	return s
+}
+
+func (d *deltaSet) append(k ast.PredKey, row relation.Row) {
+	rs, ok := d.rows[k]
+	if !ok {
+		if free, has := d.freeRows[k]; has {
+			rs = free
+			delete(d.freeRows, k)
+		}
+	}
+	d.rows[k] = append(rs, row)
+}
+
+// reset clears d for reuse by a later round while retaining allocated
+// capacity on the free lists. Only a set no evaluator still references
+// may be reset — i.e. the previous round's Δ after its round completed.
+func (d *deltaSet) reset() {
+	if d.freeRows == nil {
+		d.freeRows = map[ast.PredKey][]relation.Row{}
+		d.freeSeen = map[ast.PredKey]map[string]bool{}
+	}
+	for k, rs := range d.rows {
+		d.freeRows[k] = rs[:0]
+		delete(d.rows, k)
+	}
+	for k, s := range d.seen {
+		clear(s)
+		d.freeSeen[k] = s
+		delete(d.seen, k)
+	}
 }
 
 func (d *deltaSet) empty() bool { return len(d.rows) == 0 }
@@ -524,23 +625,30 @@ func (en *Engine) solveSemiNaive(g *guard, db *relation.DB, ci int, c *deps.Comp
 // mirrors every derived change outward (for cross-component seeding).
 func (en *Engine) semiNaiveLoop(g *guard, db *relation.DB, ci int, ps []*plan, stats *Stats, init *deltaSet, record func(ast.PredKey, relation.Row)) error {
 	delta := newDeltaSet()
+	// insert derives through per-closure scratch: the head projection
+	// lands in the plan's hbuf and the tuple key is built once into kbuf,
+	// shared by the eps check, the relation insert and the Δ-set dedup.
+	// Everything retained beyond this call (Δ rows, trace, records) comes
+	// from the stored row, whose args the relation copied on first insert.
+	var kbuf []byte
 	insert := func(p *plan, e *env) error {
-		args, cost, err := headTuple(p, e)
+		args, cost, err := headTupleInto(p, e)
 		if err != nil {
 			return err
 		}
 		rel := db.Rel(p.head.pred)
-		if insertEps(rel, args, cost, en.opts.Epsilon) {
+		kbuf = val.AppendKeyOf(kbuf[:0], args)
+		if insertEpsKey(rel, kbuf, args, cost, en.opts.Epsilon) {
 			stats.Derived++
-			row, _ := rel.GetOrDefault(args)
-			delta.add(p.head.pred, row)
+			row, ik, _ := rel.LookupKey(kbuf)
+			delta.addInterned(p.head.pred, row, ik)
 			if record != nil {
 				record(p.head.pred, row)
 			}
 			if en.opts.Trace {
-				en.recordTrace(p, e, args)
+				en.recordTrace(p, e, row.Args)
 			}
-			if err := g.derived(p.head.pred, args, row.Cost, rel.Info.HasCost, true); err != nil {
+			if err := g.derived(p.head.pred, row.Args, row.Cost, rel.Info.HasCost, true); err != nil {
 				return err
 			}
 		}
@@ -554,24 +662,24 @@ func (en *Engine) semiNaiveLoop(g *guard, db *relation.DB, ci int, ps []*plan, s
 		}
 		stats.Rounds++
 		rd0 := stats.Derived
-		ev := &evaluator{db: db, trace: en.opts.Trace, check: g.check}
+		ev := newRunner(en.exe, db, 0, nil, nil, en.opts.Trace, g.check)
 		for _, p := range ps {
 			p := p
 			g.rule = p.rule
-			f0, d0, p0 := ev.firings, stats.Derived, ev.probes
+			f0, d0, p0 := ev.fir(), stats.Derived, ev.pr()
 			t0 := time.Now()
 			err := ev.run(p, func(e *env) error { return insert(p, e) })
 			en.noteRule(&stats.Rules[p.idx], ci, 0,
-				ev.firings-f0, stats.Derived-d0, ev.probes-p0, time.Since(t0).Nanoseconds())
+				ev.fir()-f0, stats.Derived-d0, ev.pr()-p0, time.Since(t0).Nanoseconds())
 			if err != nil {
 				return err
 			}
 		}
-		stats.Firings += ev.firings
-		stats.Probes += ev.probes
+		stats.Firings += ev.fir()
+		stats.Probes += ev.pr()
 		if en.sink != nil {
 			en.sink.Event(obs.Event{Kind: obs.RoundEnd, Component: ci, Round: 0,
-				Firings: ev.firings, Derived: stats.Derived - rd0, Probes: ev.probes})
+				Firings: ev.fir(), Derived: stats.Derived - rd0, Probes: ev.pr()})
 		}
 		if err := g.roundBoundary(db); err != nil {
 			return err
@@ -580,6 +688,11 @@ func (en *Engine) semiNaiveLoop(g *guard, db *relation.DB, ci int, ps []*plan, s
 		delta = init
 	}
 
+	// Rounds ping-pong between two Δ sets: the previous round's set is
+	// reset (retaining capacity) and becomes the next round's, so the
+	// fixpoint stops regrowing Δ storage every round. The caller-owned
+	// init set is never recycled.
+	var spare *deltaSet
 	for round := 1; !delta.empty(); round++ {
 		if round >= en.opts.MaxRounds {
 			return g.maxRounds(en.opts.MaxRounds)
@@ -590,7 +703,11 @@ func (en *Engine) semiNaiveLoop(g *guard, db *relation.DB, ci int, ps []*plan, s
 		stats.Rounds++
 		roundF, roundD, roundP := stats.Firings, stats.Derived, stats.Probes
 		prev := delta
-		delta = newDeltaSet()
+		if spare != nil {
+			delta, spare = spare, nil
+		} else {
+			delta = newDeltaSet()
+		}
 		changedPreds := prev.preds()
 		for _, p := range ps {
 			p := p
@@ -623,10 +740,10 @@ func (en *Engine) semiNaiveLoop(g *guard, db *relation.DB, ci int, ps []*plan, s
 				if en.opts.DisableGroupDelta {
 					groups, restricted = nil, false
 				}
-				ev := &evaluator{db: db, aggGroups: groups, trace: en.opts.Trace, check: g.check}
+				ev := newRunner(en.exe, db, 0, nil, groups, en.opts.Trace, g.check)
 				perr = ev.run(p, func(e *env) error { return insert(p, e) })
-				stats.Firings += ev.firings
-				stats.Probes += ev.probes
+				stats.Firings += ev.fir()
+				stats.Probes += ev.pr()
 				ranFull = !restricted
 			}
 			if perr == nil && !ranFull && hasScan {
@@ -637,10 +754,10 @@ func (en *Engine) semiNaiveLoop(g *guard, db *relation.DB, ci int, ps []*plan, s
 				for _, k := range changedPreds {
 					rows := prev.rows[k]
 					for _, si := range p.scanSteps[k] {
-						ev := &evaluator{db: db, restrictStep: si, restrictRows: rows, trace: en.opts.Trace, check: g.check}
+						ev := newRunner(en.exe, db, si, rows, nil, en.opts.Trace, g.check)
 						perr = ev.run(p, func(e *env) error { return insert(p, e) })
-						stats.Firings += ev.firings
-						stats.Probes += ev.probes
+						stats.Firings += ev.fir()
+						stats.Probes += ev.pr()
 						if perr != nil {
 							break scans
 						}
@@ -660,6 +777,10 @@ func (en *Engine) semiNaiveLoop(g *guard, db *relation.DB, ci int, ps []*plan, s
 		if err := g.roundBoundary(db); err != nil {
 			return err
 		}
+		if prev != init {
+			prev.reset()
+			spare = prev
+		}
 	}
 	return nil
 }
@@ -668,34 +789,57 @@ func (en *Engine) semiNaiveLoop(g *guard, db *relation.DB, ci int, ps []*plan, s
 // whose multisets may have changed given the Δ set. restricted is false
 // when some changed conjunct cannot be projected onto the full group key
 // (the caller then treats the run as unrestricted).
-func changedGroups(p *plan, d *deltaSet) (map[int]map[string][]val.T, bool) {
-	out := map[int]map[string][]val.T{}
+func changedGroups(p *plan, d *deltaSet) (map[int]map[string]exec.GroupRef, bool) {
+	out := map[int]map[string]exec.GroupRef{}
+	// Group keys are built into a per-call scratch buffer and the group
+	// values are references into the Δ rows' relation-owned argument
+	// tuples (exec.GroupRef), so the only per-group allocation is the
+	// interned map key for new entries. Anything else here runs once per
+	// Δ row per round and shows up directly in allocs/op.
+	var kbuf []byte
 	for si, s := range p.steps {
 		ag, ok := s.(*aggStep)
 		if !ok {
 			continue
 		}
 		touched := false
-		keys := map[string][]val.T{}
+		keys := ag.groupScratch
+		if keys == nil {
+			keys = map[string]exec.GroupRef{}
+			ag.groupScratch = keys
+		} else {
+			clear(keys)
+		}
 		for ci, sp := range ag.conj {
 			rows := d.rows[sp.pred]
 			if len(rows) == 0 {
 				continue
 			}
+			pos := ag.groupKeyPos[ci]
+			if pos == nil {
+				return nil, false
+			}
 			touched = true
 			for _, row := range rows {
-				gk, ok := ag.groupKeyOfRow(ci, row.Args)
-				if !ok {
-					return nil, false
-				}
-				if _, dup := keys[gk]; !dup {
-					pos := ag.groupKeyPos[ci]
-					vals := make([]val.T, len(pos))
-					for j, pidx := range pos {
-						vals[j] = row.Args[pidx]
+				kbuf = kbuf[:0]
+				for j, pidx := range pos {
+					if j > 0 {
+						kbuf = append(kbuf, 0)
 					}
-					keys[gk] = vals
+					kbuf = val.AppendKey(kbuf, row.Args[pidx])
 				}
+				if _, dup := keys[string(kbuf)]; dup {
+					continue
+				}
+				ik, ok := ag.groupKeys[string(kbuf)]
+				if !ok {
+					ik = string(kbuf)
+					if ag.groupKeys == nil {
+						ag.groupKeys = map[string]string{}
+					}
+					ag.groupKeys[ik] = ik
+				}
+				keys[ik] = exec.GroupRef{Args: row.Args, Pos: pos}
 			}
 		}
 		if touched {
@@ -723,15 +867,21 @@ func aggPredChanged(p *plan, d *deltaSet) bool {
 // insertEps is InsertJoin with numeric convergence tolerance: an
 // improvement smaller than eps does not count as a change.
 func insertEps(rel *relation.Relation, args []val.T, cost lattice.Elem, eps float64) bool {
+	return insertEpsKey(rel, val.AppendKeyOf(nil, args), args, cost, eps)
+}
+
+// insertEpsKey is insertEps with the tuple key prebuilt by the caller,
+// so the hot insert path encodes the key exactly once.
+func insertEpsKey(rel *relation.Relation, key []byte, args []val.T, cost lattice.Elem, eps float64) bool {
 	if eps > 0 {
-		if old, ok := rel.Get(args); ok && old.HasCost && old.Cost.Kind == val.Num && cost.Kind == val.Num {
+		if old, ok := rel.GetKey(key); ok && old.HasCost && old.Cost.Kind == val.Num && cost.Kind == val.Num {
 			j := rel.Info.L.Join(old.Cost, cost)
 			if math.Abs(j.N-old.Cost.N) <= eps {
 				return false
 			}
 		}
 	}
-	return rel.InsertJoin(args, cost)
+	return rel.InsertJoinKey(key, args, cost)
 }
 
 // EqualEps compares two interpretations with numeric tolerance eps on

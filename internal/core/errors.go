@@ -77,6 +77,37 @@ type Limits struct {
 	// 0 means runtime.GOMAXPROCS(0); 1 (or any value below 1) selects
 	// exactly the sequential engine.
 	Parallelism int
+	// Executor selects the rule-body execution backend. The two
+	// executors implement the same contract — semi-naive Δ restriction,
+	// firings/probes accounting, provenance, budget polling — and
+	// produce byte-identical models, traces and checkpoints; they differ
+	// only in evaluation mechanics and allocation behaviour.
+	Executor Executor
+}
+
+// Executor names a rule-body execution backend (Limits.Executor).
+type Executor int
+
+const (
+	// ExecutorDefault selects the engine's default backend (currently
+	// the tuple interpreter).
+	ExecutorDefault Executor = iota
+	// ExecutorTuple is the tuple-at-a-time backtracking interpreter in
+	// eval.go: simple, allocation-heavy, the reference semantics.
+	ExecutorTuple
+	// ExecutorStream is the streaming relational-algebra executor in
+	// internal/exec: lazy iterator pipelines over the same index
+	// structures, with Δ-aware hash joins and pooled per-rule machines
+	// so steady-state evaluation performs no per-tuple allocation.
+	ExecutorStream
+)
+
+// String renders the executor name as the CLIs spell it.
+func (x Executor) String() string {
+	if x == ExecutorStream {
+		return "stream"
+	}
+	return "tuple"
 }
 
 const (
@@ -213,11 +244,17 @@ type guard struct {
 	stats       *Stats
 	det         divergeDetector
 	// comp and rule track the engine's current position for error
-	// reporting; lastImproved is the latest improved atom.
-	comp         []ast.PredKey
-	rule         *ast.Rule
-	lastImproved string
-	polls        int
+	// reporting; the li* fields snapshot the latest improved atom,
+	// rendered lazily in fail() so the happy path never formats it
+	// (liArgs is a reused copy — callers may pass scratch slices).
+	comp      []ast.PredKey
+	rule      *ast.Rule
+	liPred    ast.PredKey
+	liArgs    []val.T
+	liCost    lattice.Elem
+	liHasCost bool
+	liSet     bool
+	polls     int
 	// ckpt and ckptEvery drive durable checkpointing; sinceCkpt counts
 	// rounds since the last emitted checkpoint.
 	ckpt      CheckpointFunc
@@ -285,13 +322,15 @@ func (g *guard) checkpoint(db *relation.DB, force bool) error {
 // fail builds an EngineError snapshotting the guard's position.
 func (g *guard) fail(class, cause error) *EngineError {
 	e := &EngineError{
-		Err:          class,
-		Component:    g.comp,
-		Round:        g.stats.Rounds,
-		Firings:      g.stats.Firings,
-		Derived:      g.stats.Derived,
-		LastImproved: g.lastImproved,
-		Cause:        cause,
+		Err:       class,
+		Component: g.comp,
+		Round:     g.stats.Rounds,
+		Firings:   g.stats.Firings,
+		Derived:   g.stats.Derived,
+		Cause:     cause,
+	}
+	if g.liSet {
+		e.LastImproved = renderAtom(g.liPred, g.liArgs, g.liCost, g.liHasCost)
 	}
 	if g.rule != nil {
 		e.Rule = g.rule.String()
@@ -327,7 +366,8 @@ func (g *guard) check() error {
 // only changes are counted).
 func (g *guard) derived(pred ast.PredKey, args []val.T, cost lattice.Elem, hasCost, improved bool) error {
 	if improved {
-		g.lastImproved = renderAtom(pred, args, cost, hasCost)
+		g.liPred, g.liCost, g.liHasCost, g.liSet = pred, cost, hasCost, true
+		g.liArgs = append(g.liArgs[:0], args...)
 	}
 	if g.budget != nil {
 		if err := g.budget.spend(g); err != nil {
@@ -386,20 +426,33 @@ func renderAtom(pred ast.PredKey, args []val.T, cost lattice.Elem, hasCost bool)
 // 5.1 improves a single group forever and trips the threshold.
 type divergeDetector struct {
 	threshold int
-	lastKey   string
+	seen      bool
 	streak    int
 	pred      ast.PredKey
 	args      []val.T
 	recent    []float64
 }
 
+// sameAtom compares the observed atom against the retained one without
+// building a key string (this runs on every improvement).
+func (d *divergeDetector) sameAtom(pred ast.PredKey, args []val.T) bool {
+	if !d.seen || pred != d.pred || len(args) != len(d.args) {
+		return false
+	}
+	for i := range args {
+		if !val.Equal(args[i], d.args[i]) {
+			return false
+		}
+	}
+	return true
+}
+
 func (d *divergeDetector) observe(pred ast.PredKey, args []val.T, cost lattice.Elem, hasCost bool) *Divergence {
 	if d.threshold <= 0 {
 		return nil
 	}
-	key := string(pred) + "\x00" + val.KeyOf(args)
-	if key != d.lastKey {
-		d.lastKey = key
+	if !d.sameAtom(pred, args) {
+		d.seen = true
 		d.streak = 0
 		d.pred = pred
 		d.args = append(d.args[:0], args...)

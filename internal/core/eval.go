@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/ast"
+	"repro/internal/exec"
 	"repro/internal/lattice"
 	"repro/internal/relation"
 	"repro/internal/val"
@@ -41,7 +42,7 @@ type evaluator struct {
 	// aggGroups, when non-nil for a step index, restricts that aggregate
 	// step to the given groups (key string -> grouping values), the
 	// semi-naive Δ-driven restriction.
-	aggGroups map[int]map[string][]val.T
+	aggGroups map[int]map[string]exec.GroupRef
 	// trace makes aggregate steps record their contributing atoms into
 	// the environment for provenance capture.
 	trace bool
@@ -131,7 +132,7 @@ func (ev *evaluator) step(p *plan, i int, e *env, emit func(*env) error) error {
 func (ev *evaluator) scan(sp *atomSpec, e *env, f func(relation.Row) error) error {
 	rel := ev.db.Rel(sp.pred)
 	if sp.pi.HasDefault {
-		args := make([]val.T, len(sp.argVar))
+		args := sp.abuf
 		for j, v := range sp.argVar {
 			if v >= 0 {
 				args[j] = e.vals[v]
@@ -139,9 +140,12 @@ func (ev *evaluator) scan(sp *atomSpec, e *env, f func(relation.Row) error) erro
 				args[j] = sp.argVal[j]
 			}
 		}
-		row, ok := rel.GetOrDefault(args)
+		sp.kbuf = val.AppendKeyOf(sp.kbuf[:0], args)
+		row, ok := rel.GetKey(sp.kbuf)
 		if !ok {
-			return nil
+			// Default-value predicates always have a value: the bottom row
+			// (§2.3.2).
+			row = relation.Row{Args: args, Cost: sp.pi.L.Bottom(), HasCost: true}
 		}
 		ev.probes++
 		return f(row)
@@ -228,7 +232,7 @@ func unbind(e *env, saved []int) {
 // a value — the default — so only an exact cost match refutes ¬p).
 func (ev *evaluator) negSatisfied(sp *atomSpec, e *env) (bool, error) {
 	rel := ev.db.Rel(sp.pred)
-	args := make([]val.T, len(sp.argVar))
+	args := sp.abuf
 	for j, v := range sp.argVar {
 		if v >= 0 {
 			if !e.bound[v] {
@@ -239,7 +243,12 @@ func (ev *evaluator) negSatisfied(sp *atomSpec, e *env) (bool, error) {
 			args[j] = sp.argVal[j]
 		}
 	}
-	row, present := rel.GetOrDefault(args)
+	sp.kbuf = val.AppendKeyOf(sp.kbuf[:0], args)
+	row, present := rel.GetKey(sp.kbuf)
+	if !present && sp.pi.HasDefault {
+		row = relation.Row{Args: args, Cost: sp.pi.L.Bottom(), HasCost: true}
+		present = true
+	}
 	if !present {
 		return true, nil
 	}

@@ -1,0 +1,267 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/ast"
+	"repro/internal/exec"
+	"repro/internal/relation"
+	"repro/internal/val"
+)
+
+// This file lowers compiled rule plans (plan.go) to the streaming
+// relational-algebra executor (internal/exec) and adapts both executors
+// behind the runner interface the fixpoint loops evaluate through.
+//
+// The lowering is 1:1 — exec step index i is plan step index i — so the
+// semi-naive restriction keys (Config.RestrictStep, Config.AggGroups)
+// carry over unchanged. Binding patterns are static: each step binds a
+// fixed variable set whenever it succeeds, so the aggregate conjunction
+// orders the tuple interpreter derives at runtime (agg.go) are computed
+// once here, for both the grouped and the point mode.
+
+// compileStream lowers one plan to a streaming pipeline.
+func compileStream(p *plan) *exec.Rule {
+	steps := make([]exec.Step, len(p.steps))
+	// bound simulates the binding pattern along the pipeline: every step
+	// binds its variables unconditionally on success and the step order
+	// is fixed, so the set is exact, not an approximation.
+	bound := make([]bool, p.nvars)
+	for i, s := range p.steps {
+		switch s := s.(type) {
+		case *scanStep:
+			steps[i] = exec.Step{Kind: exec.ScanKind, Atom: execAtom(&s.atomSpec)}
+			for _, v := range s.argVar {
+				if v >= 0 {
+					bound[v] = true
+				}
+			}
+			if s.costVar >= 0 {
+				bound[s.costVar] = true
+			}
+		case *negStep:
+			steps[i] = exec.Step{Kind: exec.NegKind, Atom: execAtom(&s.atomSpec)}
+		case *builtinStep:
+			steps[i] = exec.Step{Kind: exec.BuiltinKind, Builtin: &exec.BuiltinStep{Assign: s.assign}}
+			if s.assign >= 0 {
+				bound[s.assign] = true
+			}
+		case *aggStep:
+			steps[i] = exec.Step{Kind: exec.AggKind, Agg: compileAgg(s, bound)}
+			for _, v := range s.groupVars {
+				bound[v] = true
+			}
+			bound[s.result] = true
+		}
+	}
+	return exec.NewRule(p.nvars, steps, streamHooks(p))
+}
+
+// compileAgg lowers a γ step, fixing the conjunction orders the tuple
+// interpreter computes per invocation: OrderFull for the grouped mode
+// (bound set as of this step, restricted to variables the conjunction
+// mentions — exactly agg.go's noteBound) and OrderPoint for the point
+// mode (the same set plus the grouping variables, which the Δ-grouped
+// recursion binds before re-entering).
+func compileAgg(s *aggStep, bound []bool) *exec.AggStep {
+	a := &exec.AggStep{
+		G:          s.g,
+		Restricted: s.restricted,
+		Result:     s.result,
+		GroupVars:  s.groupVars,
+		MsVar:      s.msVar,
+		Apply:      s.f.Apply,
+		Range:      s.f.Range(),
+	}
+	for ci := range s.conj {
+		a.Conj = append(a.Conj, execAtom(&s.conj[ci]))
+	}
+	group := make(map[int]bool, len(s.groupVars))
+	for _, v := range s.groupVars {
+		group[v] = true
+	}
+	full := map[int]bool{}
+	point := map[int]bool{}
+	note := func(v int) {
+		if v < 0 {
+			return
+		}
+		if bound[v] {
+			full[v] = true
+			point[v] = true
+		} else if group[v] {
+			point[v] = true
+		}
+	}
+	for ci := range s.conj {
+		sp := &s.conj[ci]
+		for _, v := range sp.argVar {
+			note(v)
+		}
+		note(sp.costVar)
+	}
+	a.OrderFull, a.OrderFullErr = orderConj(s.conj, full)
+	a.OrderPoint, a.OrderPointErr = orderConj(s.conj, point)
+	return a
+}
+
+func execAtom(sp *atomSpec) exec.Atom {
+	return exec.Atom{
+		Pred:    sp.pred,
+		Info:    sp.pi,
+		ArgVar:  sp.argVar,
+		ArgVal:  sp.argVal,
+		CostVar: sp.costVar,
+		CostVal: sp.costVal,
+		Wide:    len(sp.argVar) > 64,
+	}
+}
+
+// streamAux is the host state cached on each exec.Machine: an env
+// aliasing the machine's register file (so head projection and
+// provenance capture read bindings in place) and per-step builtin
+// evaluators prebuilt against that env.
+type streamAux struct {
+	env      *env
+	builtins []func() (ok, didBind bool, err error)
+}
+
+// streamHooks adapts the host-side pieces of pipeline evaluation —
+// builtin expressions and provenance capture — to the plan's step
+// structures, preserving the tuple interpreter's semantics and error
+// text exactly.
+func streamHooks(p *plan) exec.Hooks {
+	return exec.Hooks{
+		Init: func(m *exec.Machine) {
+			aux := &streamAux{env: &env{vals: m.Vals, bound: m.Bound}}
+			aux.builtins = make([]func() (bool, bool, error), len(p.steps))
+			for i, s := range p.steps {
+				if bs, ok := s.(*builtinStep); ok {
+					aux.builtins[i] = makeBuiltinEval(bs, aux.env)
+				}
+			}
+			m.Aux = aux
+		},
+		Builtin: func(m *exec.Machine, i int) (bool, bool, error) {
+			return m.Aux.(*streamAux).builtins[i]()
+		},
+		CollectSupports: func(m *exec.Machine, i int, dst any) any {
+			aux := m.Aux.(*streamAux)
+			s := p.steps[i].(*aggStep)
+			sup, _ := dst.([]Support)
+			for ci := range s.conj {
+				sup = append(sup, supportOfAtom(&s.conj[ci], aux.env, false))
+			}
+			return sup
+		},
+		SetAggSupports: func(m *exec.Machine, i int, supports any) {
+			e := m.Aux.(*streamAux).env
+			if e.aggSupports == nil {
+				e.aggSupports = map[int][]Support{}
+			}
+			sup, _ := supports.([]Support)
+			e.aggSupports[i] = sup
+		},
+		ClearAggSupports: func(m *exec.Machine, i int) {
+			delete(m.Aux.(*streamAux).env.aggSupports, i)
+		},
+	}
+}
+
+// makeBuiltinEval prebuilds one builtin step's evaluator against e,
+// mirroring evaluator.builtin (mode selection, error text) without the
+// per-invocation closure allocations.
+func makeBuiltinEval(s *builtinStep, e *env) func() (bool, bool, error) {
+	get := func(name ast.Var) (val.T, bool) {
+		idx, ok := s.varIndex(name)
+		if !ok || !e.bound[idx] {
+			return val.T{}, false
+		}
+		return e.vals[idx], true
+	}
+	return func() (bool, bool, error) {
+		if s.assign >= 0 && !e.bound[s.assign] {
+			v, err := ast.EvalExpr(s.expr, get)
+			if err != nil {
+				return false, false, fmt.Errorf("core: builtin %s: %v", s.b, err)
+			}
+			e.vals[s.assign] = v
+			e.bound[s.assign] = true
+			return true, true, nil
+		}
+		l, err := ast.EvalExpr(s.b.L, get)
+		if err != nil {
+			return false, false, fmt.Errorf("core: builtin %s: %v", s.b, err)
+		}
+		r, err := ast.EvalExpr(s.b.R, get)
+		if err != nil {
+			return false, false, fmt.Errorf("core: builtin %s: %v", s.b, err)
+		}
+		res, err := ast.Compare(s.b.Op, l, r)
+		if err != nil {
+			return false, false, fmt.Errorf("core: builtin %s: %v", s.b, err)
+		}
+		return res, false, nil
+	}
+}
+
+// runner abstracts the two rule-body executors behind the evaluation
+// pass the fixpoint loops construct: enumerate every satisfying
+// assignment of a plan, accumulating firings and probes.
+type runner interface {
+	run(p *plan, emit func(*env) error) error
+	fir() int64
+	pr() int64
+}
+
+func (ev *evaluator) fir() int64 { return ev.firings }
+func (ev *evaluator) pr() int64  { return ev.probes }
+
+// streamRunner evaluates plans on their streaming pipelines, acquiring
+// a pooled machine per run so concurrent speculative passes never share
+// mutable state.
+type streamRunner struct {
+	cfg     exec.Config
+	firings int64
+	probes  int64
+}
+
+func (sr *streamRunner) run(p *plan, emit func(*env) error) error {
+	m := p.stream.Acquire(sr.cfg)
+	aux := m.Aux.(*streamAux)
+	err := m.Run(func(*exec.Machine) error { return emit(aux.env) })
+	sr.firings += m.Firings
+	sr.probes += m.Probes
+	p.stream.Release(m)
+	return err
+}
+
+func (sr *streamRunner) fir() int64 { return sr.firings }
+func (sr *streamRunner) pr() int64  { return sr.probes }
+
+// newRunner builds the evaluation pass for the selected executor. The
+// parameters are exactly the evaluator's fields; the streaming config
+// maps them 1:1 because step indices coincide.
+func newRunner(exe Executor, db *relation.DB, restrictStep int, restrictRows []relation.Row,
+	aggGroups map[int]map[string]exec.GroupRef, trace bool, check func() error) runner {
+	if exe == ExecutorStream {
+		return &streamRunner{cfg: exec.Config{
+			DB:           db,
+			RestrictStep: restrictStep,
+			RestrictRows: restrictRows,
+			AggGroups:    aggGroups,
+			Trace:        trace,
+			Check:        check,
+		}}
+	}
+	return &evaluator{db: db, restrictStep: restrictStep, restrictRows: restrictRows,
+		aggGroups: aggGroups, trace: trace, check: check}
+}
+
+// resolveExecutor maps the Limits knob to a concrete executor.
+func resolveExecutor(lim Limits) Executor {
+	if lim.Executor == ExecutorStream {
+		return ExecutorStream
+	}
+	return ExecutorTuple
+}

@@ -46,6 +46,7 @@ func (en *Engine) SolveMoreFrom(ctx context.Context, prev *relation.DB, added *r
 	stats := base.Clone()
 	en.ensureStats(&stats)
 	lim := en.opts.Limits
+	en.exe = resolveExecutor(lim)
 	if lim.MaxDuration > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, lim.MaxDuration)

@@ -189,9 +189,9 @@ func (en *Engine) bufferEmit(p *plan, t *ruleTask) func(*env) error {
 func (en *Engine) bufferFullPass(g *guard, p *plan, db *relation.DB, t *ruleTask) {
 	defer taskRecover(g, p, t)
 	t.ran, t.active = true, true
-	ev := &evaluator{db: db, trace: en.opts.Trace, check: taskCheck(g, p)}
+	ev := newRunner(en.exe, db, 0, nil, nil, en.opts.Trace, taskCheck(g, p))
 	err := ev.run(p, en.bufferEmit(p, t))
-	t.firings, t.probes = ev.firings, ev.probes
+	t.firings, t.probes = ev.fir(), ev.pr()
 	t.err = err
 }
 
@@ -230,10 +230,10 @@ func (en *Engine) deltaPasses(p *plan, db *relation.DB, prev *deltaSet, changedP
 		if en.opts.DisableGroupDelta {
 			groups, restricted = nil, false
 		}
-		ev := &evaluator{db: db, aggGroups: groups, trace: en.opts.Trace, check: check}
+		ev := newRunner(en.exe, db, 0, nil, groups, en.opts.Trace, check)
 		err = ev.run(p, emit)
-		firings += ev.firings
-		probes += ev.probes
+		firings += ev.fir()
+		probes += ev.pr()
 		ranFull = !restricted
 	}
 	if err == nil && !ranFull && hasScan {
@@ -241,10 +241,10 @@ func (en *Engine) deltaPasses(p *plan, db *relation.DB, prev *deltaSet, changedP
 		for _, k := range changedPreds {
 			rows := prev.rows[k]
 			for _, si := range p.scanSteps[k] {
-				ev := &evaluator{db: db, restrictStep: si, restrictRows: rows, trace: en.opts.Trace, check: check}
+				ev := newRunner(en.exe, db, si, rows, nil, en.opts.Trace, check)
 				err = ev.run(p, emit)
-				firings += ev.firings
-				probes += ev.probes
+				firings += ev.fir()
+				probes += ev.pr()
 				if err != nil {
 					break scans
 				}
@@ -312,23 +312,28 @@ func materializeRels(db *relation.DB, ps []*plan) {
 func (en *Engine) parSemiNaiveLoop(pc *parRun, g *guard, db *relation.DB, ci int, ps []*plan, stats *Stats, init *deltaSet, record func(ast.PredKey, relation.Row)) error {
 	materializeRels(db, ps)
 	delta := newDeltaSet()
+	// Phase B is single-goroutine, so insert and replay share one key
+	// scratch, exactly like the sequential loop's insert closure. (Phase
+	// A only buffers through bufferEmit, which allocates fresh args.)
+	var kbuf []byte
 	insert := func(p *plan, e *env) error {
-		args, cost, err := headTuple(p, e)
+		args, cost, err := headTupleInto(p, e)
 		if err != nil {
 			return err
 		}
 		rel := db.Rel(p.head.pred)
-		if insertEps(rel, args, cost, en.opts.Epsilon) {
+		kbuf = val.AppendKeyOf(kbuf[:0], args)
+		if insertEpsKey(rel, kbuf, args, cost, en.opts.Epsilon) {
 			stats.Derived++
-			row, _ := rel.GetOrDefault(args)
-			delta.add(p.head.pred, row)
+			row, ik, _ := rel.LookupKey(kbuf)
+			delta.addInterned(p.head.pred, row, ik)
 			if record != nil {
 				record(p.head.pred, row)
 			}
 			if en.opts.Trace {
-				pc.store(p.head.pred, args, buildDerivation(p, e))
+				pc.store(p.head.pred, row.Args, buildDerivation(p, e))
 			}
-			if err := g.derived(p.head.pred, args, row.Cost, rel.Info.HasCost, true); err != nil {
+			if err := g.derived(p.head.pred, row.Args, row.Cost, rel.Info.HasCost, true); err != nil {
 				return err
 			}
 		}
@@ -342,12 +347,13 @@ func (en *Engine) parSemiNaiveLoop(pc *parRun, g *guard, db *relation.DB, ci int
 		rel := db.Rel(p.head.pred)
 		for i := range t.buf {
 			be := &t.buf[i]
-			if !insertEps(rel, be.args, be.cost, en.opts.Epsilon) {
+			kbuf = val.AppendKeyOf(kbuf[:0], be.args)
+			if !insertEpsKey(rel, kbuf, be.args, be.cost, en.opts.Epsilon) {
 				continue
 			}
 			stats.Derived++
-			row, _ := rel.GetOrDefault(be.args)
-			delta.add(p.head.pred, row)
+			row, ik, _ := rel.LookupKey(kbuf)
+			delta.addInterned(p.head.pred, row, ik)
 			if record != nil {
 				record(p.head.pred, row)
 			}
@@ -388,10 +394,10 @@ func (en *Engine) parSemiNaiveLoop(pc *parRun, g *guard, db *relation.DB, ci int
 				stats.Probes += t.probes
 				perr = replay(p, t)
 			} else {
-				ev := &evaluator{db: db, trace: en.opts.Trace, check: g.check}
+				ev := newRunner(en.exe, db, 0, nil, nil, en.opts.Trace, g.check)
 				perr = ev.run(p, func(e *env) error { return insert(p, e) })
-				stats.Firings += ev.firings
-				stats.Probes += ev.probes
+				stats.Firings += ev.fir()
+				stats.Probes += ev.pr()
 			}
 			if stats.Derived > d0 {
 				improved[p.head.pred] = true
@@ -413,6 +419,10 @@ func (en *Engine) parSemiNaiveLoop(pc *parRun, g *guard, db *relation.DB, ci int
 		delta = init
 	}
 
+	// Rounds ping-pong between two Δ sets exactly like the sequential
+	// loop; the reset happens after phase B, when no worker references
+	// the previous round's set. The caller-owned init is never recycled.
+	var spare *deltaSet
 	for round := 1; !delta.empty(); round++ {
 		if round >= en.opts.MaxRounds {
 			return g.maxRounds(en.opts.MaxRounds)
@@ -423,7 +433,11 @@ func (en *Engine) parSemiNaiveLoop(pc *parRun, g *guard, db *relation.DB, ci int
 		stats.Rounds++
 		roundF, roundD, roundP := stats.Firings, stats.Derived, stats.Probes
 		prev := delta
-		delta = newDeltaSet()
+		if spare != nil {
+			delta, spare = spare, nil
+		} else {
+			delta = newDeltaSet()
+		}
 		changedPreds := prev.preds()
 		tasks := make([]ruleTask, len(ps))
 		pc.runTasks(len(ps), func(i int) {
@@ -473,6 +487,10 @@ func (en *Engine) parSemiNaiveLoop(pc *parRun, g *guard, db *relation.DB, ci int
 		}
 		if err := pc.roundBoundary(g, db); err != nil {
 			return err
+		}
+		if prev != init {
+			prev.reset()
+			spare = prev
 		}
 	}
 	return nil

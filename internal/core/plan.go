@@ -21,6 +21,7 @@ import (
 	"sort"
 
 	"repro/internal/ast"
+	"repro/internal/exec"
 	"repro/internal/lattice"
 	"repro/internal/val"
 )
@@ -51,6 +52,11 @@ type plan struct {
 	// reads intersect the predicates already improved this round cannot
 	// replay its speculative buffer and re-runs sequentially instead.
 	reads map[ast.PredKey]bool
+	// stream is the plan lowered to the streaming executor (exec_compile.go),
+	// always compiled so Limits.Executor can switch per solve; hbuf is the
+	// head-projection scratch for insert paths that don't retain args.
+	stream *exec.Rule
+	hbuf   []val.T
 }
 
 // step is one executable body element.
@@ -66,13 +72,17 @@ type atomSpec struct {
 	costVar int     // variable index of the cost argument, -1 if none/const
 	costVal val.T   // constant cost when costVar < 0 and pi.HasCost
 	cdb     bool
-	// pat and sbuf are per-step scratch buffers for Match patterns and
-	// bindAtom backtracking lists. A step is never re-entered while its
-	// own match is in progress (nested steps are distinct specs), so the
-	// buffers are safe within one evaluation; they do make an Engine
-	// unsafe for concurrent Solve calls.
+	// pat, sbuf, abuf and kbuf are per-step scratch buffers for Match
+	// patterns, bindAtom backtracking lists, fully instantiated argument
+	// tuples and their lookup keys (negation and default-value point
+	// lookups). A step is never re-entered while its own match is in
+	// progress (nested steps are distinct specs), so the buffers are safe
+	// within one evaluation; they do make an Engine unsafe for concurrent
+	// Solve calls.
 	pat  []*val.T
 	sbuf []int
+	abuf []val.T
+	kbuf []byte
 }
 
 // scanStep matches an atom against the database (positive literal).
@@ -125,20 +135,15 @@ type aggStep struct {
 	// carry every grouping variable (then Δ-driven group restriction is
 	// impossible and the rule re-runs whole).
 	groupKeyPos [][]int
-}
-
-// groupKeyOfRow projects a changed row of conj atom ci onto the group
-// key, when possible.
-func (s *aggStep) groupKeyOfRow(ci int, args []val.T) (string, bool) {
-	pos := s.groupKeyPos[ci]
-	if pos == nil {
-		return "", false
-	}
-	key := make([]val.T, len(pos))
-	for j, p := range pos {
-		key[j] = args[p]
-	}
-	return val.KeyOf(key), true
+	// groupScratch is changedGroups' per-round changed-group map,
+	// cleared (retaining its buckets) and refilled each round. Like
+	// atomSpec's scratch buffers it relies on the engine evaluating a
+	// plan from one goroutine at a time.
+	groupScratch map[string]exec.GroupRef
+	// groupKeys interns group-key strings across rounds (and solves), so
+	// a group that changes in many rounds allocates its key exactly
+	// once. Bounded by the number of distinct groups the step ever sees.
+	groupKeys map[string]string
 }
 
 func (*aggStep) isStep() {}
@@ -194,6 +199,7 @@ func (c *compiler) compileRule(r *ast.Rule) (*plan, error) {
 		}
 		sp.pat = make([]*val.T, len(sp.argVar))
 		sp.sbuf = make([]int, 0, len(sp.argVar)+1)
+		sp.abuf = make([]val.T, len(sp.argVar))
 		return sp, nil
 	}
 
@@ -430,6 +436,8 @@ func (c *compiler) compileRule(r *ast.Rule) (*plan, error) {
 	if hs.costVar >= 0 && !isBound(hs.costVar) {
 		return nil, fmt.Errorf("core: rule %q: head cost variable %s never bound", r, p.names[hs.costVar])
 	}
+	p.hbuf = make([]val.T, len(hs.argVar))
+	p.stream = compileStream(p)
 	return p, nil
 }
 

@@ -49,20 +49,30 @@ type Relation struct {
 	rows map[string]int // key -> index into keys/data
 	data []Row
 	// idx holds the lazily built hash indexes: a bound-position bitmask
-	// maps to (projection key -> row indices in insertion order). The
-	// outer map is immutable once published; adding an index for a new
-	// mask copies it and swaps the pointer, so frozen relations can be
-	// read — and have indexes built — by many goroutines at once. The
-	// inner maps are mutated in place only by insertNew, which the
-	// single-writer contract keeps exclusive of all readers.
+	// maps to (projection key -> bucket of row indices in insertion
+	// order). The outer map is immutable once published; adding an index
+	// for a new mask copies it and swaps the pointer, so frozen relations
+	// can be read — and have indexes built — by many goroutines at once.
+	// The inner maps and their buckets are mutated in place only by
+	// insertNew, which the single-writer contract keeps exclusive of all
+	// readers.
 	idx     atomic.Pointer[indexSet]
 	buildMu sync.Mutex // serializes concurrent lazy index builds
+	// pkbuf is writer-side scratch for projection keys during index
+	// maintenance, covered by the same single-writer contract as data.
+	pkbuf []byte
 }
 
 // indexSet is the immutable collection of per-mask indexes; see Relation.idx.
 type indexSet struct {
-	byMask map[uint64]map[string][]int
+	byMask map[uint64]map[string]*bucket
 }
+
+// bucket holds one projection key's row indices. It is a pointer target
+// so insertNew can extend a bucket in place without re-allocating the
+// map key string on every new row (map assignment, unlike lookup,
+// always copies a converted []byte key).
+type bucket struct{ rows []int }
 
 // New creates an empty relation with the given schema.
 func New(info *ast.PredInfo) *Relation {
@@ -79,6 +89,34 @@ func (r *Relation) Get(args []val.T) (Row, bool) {
 		return Row{}, false
 	}
 	return r.data[i], true
+}
+
+// At returns the i-th stored row in insertion order. It is the random
+// access primitive behind iterator-based scans: an iterator holds the
+// index range, not a materialized row slice.
+func (r *Relation) At(i int) Row { return r.data[i] }
+
+// GetKey is Get with a caller-built tuple key (val.AppendKeyOf into a
+// reusable buffer), so point lookups on a hot path allocate nothing.
+// The key must be exactly val.KeyOf of the non-cost arguments.
+func (r *Relation) GetKey(key []byte) (Row, bool) {
+	i, ok := r.rows[string(key)]
+	if !ok {
+		return Row{}, false
+	}
+	return r.data[i], true
+}
+
+// LookupKey is GetKey returning additionally the interned key string the
+// relation stores for the row. Callers that need to retain the key (the
+// engine's Δ-set dedup) can hold the interned string instead of
+// converting the byte key again, which would allocate per derivation.
+func (r *Relation) LookupKey(key []byte) (Row, string, bool) {
+	i, ok := r.rows[string(key)]
+	if !ok {
+		return Row{}, "", false
+	}
+	return r.data[i], r.keys[i], true
 }
 
 // GetOrDefault behaves like Get but, for a default-value cost predicate,
@@ -157,6 +195,29 @@ func (r *Relation) InsertJoin(args []val.T, cost lattice.Elem) bool {
 	return true
 }
 
+// InsertJoinKey is InsertJoin with a caller-built tuple key (which must
+// be exactly val.KeyOf(args)). The join-on-collision path — by far the
+// common case once a fixpoint is warm — then allocates nothing; only a
+// genuinely new row pays for copying the key and arguments.
+func (r *Relation) InsertJoinKey(key []byte, args []val.T, cost lattice.Elem) bool {
+	if i, ok := r.rows[string(key)]; ok {
+		if !r.Info.HasCost {
+			return false
+		}
+		j := r.Info.L.Join(r.data[i].Cost, cost)
+		if lattice.Eq(r.Info.L, j, r.data[i].Cost) {
+			return false
+		}
+		r.data[i].Cost = j
+		return true
+	}
+	if r.Info.HasDefault && lattice.Eq(r.Info.L, cost, r.Info.L.Bottom()) {
+		return false
+	}
+	r.insertNew(string(key), args, cost)
+	return true
+}
+
 func (r *Relation) insertNew(k string, args []val.T, cost lattice.Elem) {
 	row := Row{Args: append([]val.T{}, args...), HasCost: r.Info.HasCost}
 	if r.Info.HasCost {
@@ -168,8 +229,12 @@ func (r *Relation) insertNew(k string, args []val.T, cost lattice.Elem) {
 	r.data = append(r.data, row)
 	if is := r.idx.Load(); is != nil {
 		for mask, ix := range is.byMask {
-			pk := projKey(row.Args, mask)
-			ix[pk] = append(ix[pk], idx)
+			r.pkbuf = AppendProjKey(r.pkbuf[:0], row.Args, mask)
+			if b := ix[string(r.pkbuf)]; b != nil {
+				b.rows = append(b.rows, idx)
+			} else {
+				ix[string(r.pkbuf)] = &bucket{rows: []int{idx}}
+			}
 		}
 	}
 }
@@ -215,19 +280,6 @@ func CompareArgs(a, b []val.T) int {
 	return 0
 }
 
-// projKey builds the projection key of args over the positions set in mask.
-func projKey(args []val.T, mask uint64) string {
-	var b strings.Builder
-	for i, a := range args {
-		if mask&(1<<uint(i)) == 0 {
-			continue
-		}
-		b.WriteString(a.Key())
-		b.WriteByte(0)
-	}
-	return b.String()
-}
-
 // Match calls f on each row whose non-cost arguments agree with pattern
 // (nil entries are wildcards). When at least one position is bound, a hash
 // index on the bound positions is built lazily and consulted. Rows are
@@ -246,7 +298,7 @@ func (r *Relation) Match(pattern []*val.T, f func(Row) bool) {
 		r.Each(f)
 		return
 	}
-	var ix map[string][]int
+	var ix map[string]*bucket
 	if is := r.idx.Load(); is != nil {
 		ix = is.byMask[mask]
 	}
@@ -261,7 +313,11 @@ func (r *Relation) Match(pattern []*val.T, f func(Row) bool) {
 		b.WriteString(p.Key())
 		b.WriteByte(0)
 	}
-	for _, i := range ix[b.String()] {
+	bk := ix[b.String()]
+	if bk == nil {
+		return
+	}
+	for _, i := range bk.rows {
 		row := r.data[i]
 		matched := true
 		for j, p := range pattern {
@@ -276,12 +332,49 @@ func (r *Relation) Match(pattern []*val.T, f func(Row) bool) {
 	}
 }
 
+// Bucket returns the index bucket for the projection key under mask:
+// the insertion-order indices of all rows whose masked argument
+// positions encode to key. The key must be built in projKey format
+// (each bound position's val Key followed by a 0 byte, positions in
+// ascending order, only positions < 64). The index is built lazily
+// exactly as for Match; the returned slice must not be mutated, and on
+// a frozen relation it is stable. Bucket is the probe side of the
+// executor's hash joins — the lazily built per-mask index is the
+// presized build side, shared by every probe against the relation.
+func (r *Relation) Bucket(mask uint64, key []byte) []int {
+	var ix map[string]*bucket
+	if is := r.idx.Load(); is != nil {
+		ix = is.byMask[mask]
+	}
+	if ix == nil {
+		ix = r.buildIndex(mask)
+	}
+	b := ix[string(key)]
+	if b == nil {
+		return nil
+	}
+	return b.rows
+}
+
+// AppendProjKey appends the projection key of args over mask to dst in
+// exactly the encoding the per-mask indexes are keyed by.
+func AppendProjKey(dst []byte, args []val.T, mask uint64) []byte {
+	for i := range args {
+		if mask&(1<<uint(i)) == 0 {
+			continue
+		}
+		dst = val.AppendKey(dst, args[i])
+		dst = append(dst, 0)
+	}
+	return dst
+}
+
 // buildIndex constructs the hash index for mask and publishes it
 // copy-on-write. Concurrent builders serialize on buildMu; each re-checks
 // under the lock so the index is built at most once. Readers that loaded
 // the previous indexSet keep using it unharmed — the old inner maps are
 // never mutated by a build.
-func (r *Relation) buildIndex(mask uint64) map[string][]int {
+func (r *Relation) buildIndex(mask uint64) map[string]*bucket {
 	r.buildMu.Lock()
 	defer r.buildMu.Unlock()
 	if is := r.idx.Load(); is != nil {
@@ -289,12 +382,21 @@ func (r *Relation) buildIndex(mask uint64) map[string][]int {
 			return ix
 		}
 	}
-	ix := map[string][]int{}
+	// Presize for the common one-row-per-bucket shape so the build does
+	// not rehash while the fixpoint is paused on it. The projection key
+	// goes through a scratch buffer: a key string is allocated only per
+	// distinct bucket, not per row.
+	ix := make(map[string]*bucket, len(r.data))
+	var pk []byte
 	for i := range r.data {
-		pk := projKey(r.data[i].Args, mask)
-		ix[pk] = append(ix[pk], i)
+		pk = AppendProjKey(pk[:0], r.data[i].Args, mask)
+		if b := ix[string(pk)]; b != nil {
+			b.rows = append(b.rows, i)
+		} else {
+			ix[string(pk)] = &bucket{rows: []int{i}}
+		}
 	}
-	next := &indexSet{byMask: map[uint64]map[string][]int{mask: ix}}
+	next := &indexSet{byMask: map[uint64]map[string]*bucket{mask: ix}}
 	if is := r.idx.Load(); is != nil {
 		for m, v := range is.byMask {
 			next.byMask[m] = v

@@ -170,6 +170,53 @@ func KeyOf(tuple []T) string {
 	return b.String()
 }
 
+// AppendKey appends the canonical key encoding of v (exactly the bytes
+// Key would return) to dst and returns the extended slice. It exists so
+// hot paths can build map keys into a reusable buffer and look them up
+// via m[string(buf)] without allocating.
+func AppendKey(dst []byte, v T) []byte {
+	switch v.Kind {
+	case Sym:
+		dst = append(dst, 's', ':')
+		return append(dst, v.S...)
+	case Num:
+		dst = append(dst, 'n', ':')
+		return strconv.AppendFloat(dst, v.N, 'g', -1, 64)
+	case Bool:
+		if v.B {
+			return append(dst, 'b', ':', '1')
+		}
+		return append(dst, 'b', ':', '0')
+	case Str:
+		dst = append(dst, 'q', ':')
+		return append(dst, v.S...)
+	case SetKind:
+		dst = append(dst, 'S', ':', '{')
+		if v.Set != nil {
+			for i, k := range v.Set.keys {
+				if i > 0 {
+					dst = append(dst, ';')
+				}
+				dst = append(dst, k...)
+			}
+		}
+		return append(dst, '}')
+	}
+	return append(dst, '?')
+}
+
+// AppendKeyOf appends the canonical tuple key (exactly the bytes KeyOf
+// would return) to dst and returns the extended slice.
+func AppendKeyOf(dst []byte, tuple []T) []byte {
+	for i, v := range tuple {
+		if i > 0 {
+			dst = append(dst, 0)
+		}
+		dst = AppendKey(dst, v)
+	}
+	return dst
+}
+
 // Set is an immutable finite set of values, kept sorted by Key.
 type Set struct {
 	elems []T

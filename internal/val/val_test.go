@@ -129,3 +129,34 @@ func TestParseNumber(t *testing.T) {
 		t.Fatal("ParseNumber must reject garbage")
 	}
 }
+
+// TestAppendKeyMatchesKey pins the append-style key builders to the
+// string builders byte for byte: the relation and executor hot paths
+// rely on AppendKey/AppendKeyOf producing exactly the map keys that
+// Key/KeyOf produced when the rows were stored.
+func TestAppendKeyMatchesKey(t *testing.T) {
+	vals := []T{
+		Symbol("a"), Symbol(""), Number(0), Number(-2.5), Number(1e300),
+		Boolean(true), Boolean(false), String("x\x00y"), String(""),
+		SetOf(), SetOf(Number(1)), SetOf(Symbol("b"), Number(3), Boolean(true)),
+		{Kind: SetKind, Set: nil},
+	}
+	for _, v := range vals {
+		if got, want := string(AppendKey(nil, v)), v.Key(); got != want {
+			t.Errorf("AppendKey(%v) = %q, want %q", v, got, want)
+		}
+	}
+	tuples := [][]T{
+		nil,
+		{Symbol("a")},
+		{Symbol("a"), Number(1), Boolean(false)},
+		{String("s"), SetOf(Symbol("x"), Symbol("y"))},
+	}
+	buf := make([]byte, 0, 64)
+	for _, tu := range tuples {
+		buf = AppendKeyOf(buf[:0], tu)
+		if got, want := string(buf), KeyOf(tu); got != want {
+			t.Errorf("AppendKeyOf(%v) = %q, want %q", tu, got, want)
+		}
+	}
+}

@@ -125,12 +125,20 @@ func BenchmarkGroupStratifiedCheck(b *testing.B) {
 
 // BenchmarkSolve is the canonical end-to-end fixpoint benchmark used to
 // bound instrumentation overhead: a full semi-naive solve of the
-// shortest-path program on a fixed cyclic graph, no sink attached.
+// shortest-path program on a fixed cyclic graph, no sink attached. It
+// runs once per executor backend; the bench-regression smoke job
+// (scripts/bench_regression.sh) holds the streaming executor's allocs/op
+// to a fraction of the tuple interpreter's.
 func BenchmarkSolve(b *testing.B) {
 	g := gen.Graph(gen.CycleGraph, 96, 4*96, 9, 96)
-	en := mustEngine(b, programs.ShortestPath+gen.GraphFacts(g), core.Options{})
-	b.ReportAllocs()
-	for i := 0; i < b.N; i++ {
-		solveB(b, en)
+	src := programs.ShortestPath + gen.GraphFacts(g)
+	for _, exe := range []core.Executor{core.ExecutorTuple, core.ExecutorStream} {
+		en := mustEngine(b, src, core.Options{Limits: core.Limits{Executor: exe}})
+		b.Run(exe.String(), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				solveB(b, en)
+			}
+		})
 	}
 }

@@ -38,6 +38,11 @@ GMP=${GOMAXPROCS:-$NCPU}
 WAL_FSYNC=${BENCH_WAL_FSYNC:-off}
 
 # Parse `BenchmarkName-N  iters  ns/op  B/op  allocs/op` lines into JSON.
+# The engine_vs_baseline section pairs each engine benchmark with its
+# direct-algorithm baseline (Dijkstra for the shortest-path family, the
+# closed-form scan for party) and records the ns/op ratio per executor,
+# so the gap the streaming executor is chipping away at is tracked
+# across PRs in the same file as the raw numbers.
 awk -v host="$(uname -sm)" -v go="$(go env GOVERSION)" -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" -v gmp="$GMP" -v walfsync="$WAL_FSYNC" '
 BEGIN { printf "{\n  \"date\": \"%s\",\n  \"go\": \"%s\",\n  \"host\": \"%s\",\n  \"gomaxprocs\": %s,\n  \"default_parallelism\": %s,\n  \"wal_fsync\": \"%s\",\n  \"benchmarks\": [", date, go, host, gmp, gmp, walfsync; n = 0 }
 /^Benchmark/ && /ns\/op/ {
@@ -54,8 +59,37 @@ BEGIN { printf "{\n  \"date\": \"%s\",\n  \"go\": \"%s\",\n  \"host\": \"%s\",\n
     if (bytes != "") printf ", \"bytes_per_op\": %s", bytes
     if (allocs != "") printf ", \"allocs_per_op\": %s", allocs
     printf "}"
+    names[n] = name; nsb[name] = ns
 }
-END { printf "\n  ]\n}\n" }
+END {
+    printf "\n  ],\n  \"engine_vs_baseline\": ["
+    m = 0
+    for (i = 1; i <= n; i++) {
+        name = names[i]; base = ""; fam = ""; exe = ""
+        if (name ~ /^BenchmarkShortestPath\/[a-z]+\/n=[0-9]+$/) {
+            split(name, a, "/")
+            base = "BenchmarkShortestPathDijkstra/" a[3]
+            fam = "shortestpath/" a[2] "/" a[3]; exe = "tuple"
+        } else if (name ~ /^BenchmarkShortestPath\/[a-z]+\/n=[0-9]+\/stream$/) {
+            split(name, a, "/")
+            base = "BenchmarkShortestPathDijkstra/" a[3]
+            fam = "shortestpath/" a[2] "/" a[3]; exe = "stream"
+        } else if (name ~ /\/engine\//) {
+            base = name; sub(/\/engine\//, "/direct/", base)
+            fam = tolower(name); sub(/^benchmark/, "", fam); sub(/\/engine\//, "/", fam)
+            exe = "tuple"
+        } else if (name ~ /\/engine-stream\//) {
+            base = name; sub(/\/engine-stream\//, "/direct/", base)
+            fam = tolower(name); sub(/^benchmark/, "", fam); sub(/\/engine-stream\//, "/", fam)
+            exe = "stream"
+        }
+        if (base == "" || !(base in nsb) || nsb[base] + 0 == 0) continue
+        if (m++) printf ","
+        printf "\n    {\"family\": \"%s\", \"executor\": \"%s\", \"engine\": \"%s\", \"baseline\": \"%s\", \"engine_over_baseline_ns\": %.2f", fam, exe, name, base, nsb[name] / nsb[base]
+        printf "}"
+    }
+    printf "\n  ]\n}\n"
+}
 ' "$RAW" >"$OUT"
 
 count=$(grep -c '"name"' "$OUT" || true)

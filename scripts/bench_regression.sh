@@ -1,0 +1,49 @@
+#!/bin/sh
+# Allocation-regression gate for the streaming executor.
+#
+# Runs BenchmarkSolve (the shortest-path fixpoint on a cyclic graph)
+# under both executors and fails if the streaming executor's allocs/op
+# exceeds BENCH_REGRESSION_MAX_PCT percent of the tuple-at-a-time
+# executor's. The gate protects the core win of the streaming pipeline
+# — fused operators with no per-tuple environment churn — from being
+# eroded by later changes that quietly reintroduce per-row allocation.
+#
+#   scripts/bench_regression.sh                      # default 25% gate
+#   BENCH_REGRESSION_MAX_PCT=30 scripts/bench_regression.sh
+#   BENCHTIME=5x scripts/bench_regression.sh
+#
+# Allocation counts (unlike wall-clock timings) are stable across
+# shared-runner noise, so a small fixed iteration count is enough.
+set -eu
+
+ROOT=$(cd "$(dirname "$0")/.." && pwd)
+BENCHTIME=${BENCHTIME:-3x}
+MAX_PCT=${BENCH_REGRESSION_MAX_PCT:-25}
+RAW=$(mktemp)
+trap 'rm -f "$RAW"' EXIT INT TERM
+
+echo "bench_regression: running BenchmarkSolve (both executors, -benchtime $BENCHTIME)"
+( cd "$ROOT" && go test . -run '^$' -bench '^BenchmarkSolve$' -benchmem \
+    -benchtime "$BENCHTIME" ) | tee "$RAW"
+
+awk -v maxpct="$MAX_PCT" '
+/^BenchmarkSolve\/tuple/ && /allocs\/op/ {
+    for (i = 2; i < NF; i++) if ($(i+1) == "allocs/op") tuple = $i
+}
+/^BenchmarkSolve\/stream/ && /allocs\/op/ {
+    for (i = 2; i < NF; i++) if ($(i+1) == "allocs/op") stream = $i
+}
+END {
+    if (tuple == "" || stream == "") {
+        print "bench_regression: FAIL: missing BenchmarkSolve/tuple or BenchmarkSolve/stream results" > "/dev/stderr"
+        exit 1
+    }
+    pct = 100 * stream / tuple
+    printf "bench_regression: stream %d allocs/op vs tuple %d allocs/op = %.1f%% (gate: <= %s%%)\n", stream, tuple, pct, maxpct
+    if (pct > maxpct + 0) {
+        print "bench_regression: FAIL: streaming executor allocates more than the gate allows" > "/dev/stderr"
+        exit 1
+    }
+    print "bench_regression: PASS"
+}
+' "$RAW"
