@@ -21,6 +21,11 @@
 //	-query pred    print only the tuples of one predicate
 //	-stats         print evaluation statistics to stderr, including
 //	               per-component and per-rule hot-spot tables
+//	-profile       print EXPLAIN ANALYZE to stderr: the compiled operator
+//	               tree of every rule annotated with measured row counts,
+//	               index probes and build sizes (implies -executor=stream)
+//	-profile-json f  also write the profile as JSON to file f (the
+//	               machine-readable EXPLAIN ANALYZE form; implies -profile)
 //	-pprof-addr a  serve net/http/pprof on its own listener at address a
 //	               while evaluating (e.g. localhost:6060)
 //	-unchecked     skip the static checks (minimal model no longer guaranteed)
@@ -59,6 +64,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -111,6 +117,8 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	unchecked := fs.Bool("unchecked", false, "skip static checks")
 	wfsFallback := fs.Bool("wfs-fallback", false, "evaluate negation-recursive components by WFS (§6.3)")
 	explain := fs.String("explain", "", "print the derivation tree of a ground atom, e.g. 's(a, c)'")
+	profile := fs.Bool("profile", false, "print EXPLAIN ANALYZE (per-operator row counts and probe totals) to stderr; implies -executor=stream")
+	profileJSON := fs.String("profile-json", "", "write the EXPLAIN ANALYZE profile as JSON to this file (implies -profile)")
 	ckptPath := fs.String("checkpoint", "", "durably checkpoint the evolving model to this file")
 	ckptEvery := fs.Int("checkpoint-every", 1, "rounds between periodic checkpoints (with -checkpoint)")
 	resumePath := fs.String("resume", "", "resume evaluation from a checkpoint file written by -checkpoint")
@@ -150,6 +158,18 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	if err != nil {
 		return usage(`-executor must be "stream" or "tuple"`)
 	}
+	if *profileJSON != "" {
+		*profile = true
+	}
+	if *profile {
+		// Only the streaming executor carries operator counters, so
+		// -profile selects it; an explicit -executor=tuple is a
+		// contradiction, not something to silently override.
+		if executorSet && exe == datalog.ExecutorTuple {
+			return usage("-profile requires the streaming executor; drop -executor=tuple")
+		}
+		exe = datalog.ExecutorStream
+	}
 	if timeoutSet && *timeout <= 0 {
 		return usage("-timeout must be > 0")
 	}
@@ -182,6 +202,9 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	if *check && executorSet {
 		return usage("-check does not evaluate; it cannot be combined with -executor")
 	}
+	if *check && *profile {
+		return usage("-check does not evaluate; it cannot be combined with -profile")
+	}
 	if fs.NArg() == 0 {
 		fmt.Fprintln(stderr, "usage: mdl [flags] program.mdl ...")
 		fs.PrintDefaults()
@@ -208,6 +231,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		SkipChecks:  *unchecked || *check,
 		WFSFallback: *wfsFallback,
 		Trace:       *explain != "",
+		Profile:     *profile,
 	}
 	if *naive {
 		opts.Strategy = datalog.Naive
@@ -277,6 +301,13 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 			fmt.Fprint(stderr, m.String())
 		}
 		printStats(stderr, st)
+		if *profile {
+			// The counters cover the work performed up to the breach —
+			// on a divergence they show which operator pipeline blew up.
+			prof := p.Profile()
+			prof.Annotate(st)
+			prof.Render(stderr)
+		}
 		if errors.Is(err, datalog.ErrCheckpoint) {
 			return exitCheckpoint
 		}
@@ -284,6 +315,21 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	}
 	if *stats {
 		printStats(stderr, st)
+	}
+	if *profile {
+		prof := p.Profile()
+		prof.Annotate(st)
+		prof.Render(stderr)
+		if *profileJSON != "" {
+			b, jerr := json.MarshalIndent(prof, "", "  ")
+			if jerr == nil {
+				jerr = os.WriteFile(*profileJSON, append(b, '\n'), 0o644)
+			}
+			if jerr != nil {
+				fmt.Fprintln(stderr, "mdl: profile-json:", jerr)
+				return exitUsage
+			}
+		}
 	}
 	if *explain != "" {
 		pred, args, err := parseAtom(*explain)

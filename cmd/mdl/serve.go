@@ -48,6 +48,10 @@
 //	-log-format f  structured request-log format: text (default) or json
 //	-slow-request d  log requests slower than d at warn level (0 = off)
 //	-pprof-addr a  serve net/http/pprof on its own listener at address a
+//	-trace-dir DIR   also write every finished request trace as a Chrome
+//	                 trace-event JSON file under DIR (one per trace)
+//	-trace-buffer N  flight-recorder capacity: the N most recent request
+//	                 traces are retained for /debug/traces (default 64)
 //
 // SIGINT/SIGTERM shut the server down gracefully: admission closes
 // (/readyz flips to 503, new asserts shed), queued assert batches
@@ -109,6 +113,8 @@ func runServe(ctx context.Context, args []string, stdout, stderr io.Writer) int 
 	logFormat := fs.String("log-format", "text", "structured request-log format: text or json")
 	slowReq := fs.Duration("slow-request", 0, "log requests slower than this threshold at warn level (0 = off)")
 	pprofAddr := fs.String("pprof-addr", "", "serve net/http/pprof on this address (separate listener)")
+	traceDir := fs.String("trace-dir", "", "also write each finished request trace as a Chrome trace-event JSON file under this directory")
+	traceBuffer := fs.Int("trace-buffer", 0, "flight-recorder capacity: recent request traces retained for /debug/traces (default 64)")
 	if err := fs.Parse(args); err != nil {
 		return exitUsage
 	}
@@ -174,6 +180,9 @@ func runServe(ctx context.Context, args []string, stdout, stderr io.Writer) int 
 	if err != nil {
 		return usage("-wal-fsync: " + err.Error())
 	}
+	if *traceBuffer < 0 {
+		return usage("-trace-buffer must be ≥ 0")
+	}
 
 	opts := datalog.Options{
 		Epsilon:     *eps,
@@ -207,6 +216,8 @@ func runServe(ctx context.Context, args []string, stdout, stderr io.Writer) int 
 		WALDir:          *walDir,
 		WALFsync:        fsyncPolicy,
 		WALSegmentBytes: *walSegment,
+		TraceDir:        *traceDir,
+		TraceBuffer:     *traceBuffer,
 	}
 	var logf func(format string, a ...any)
 	if *logFormat == "json" {

@@ -164,6 +164,12 @@ type Options struct {
 	// flushes and resource warnings. Events are emitted synchronously
 	// from the evaluation loop; nil keeps the engine at full speed.
 	Sink EventSink
+	// Profile enables per-operator execution counters on the streaming
+	// executor (rows in/out, probes, build sizes, Δ rows, aggregate
+	// groups), retrievable with Program.Profile — the data behind
+	// EXPLAIN ANALYZE. The tuple interpreter ignores it; the streaming
+	// executor pays one predictable branch per counted event.
+	Profile bool
 }
 
 // Stats reports evaluation work.
@@ -206,6 +212,7 @@ func Load(src string, opts Options) (*Program, error) {
 		WFSFallback: opts.WFSFallback,
 		Trace:       opts.Trace,
 		Sink:        opts.Sink,
+		Profile:     opts.Profile,
 		Limits:      lim,
 	})
 	if err != nil {
@@ -457,6 +464,44 @@ func (p *Program) SolveMoreContext(ctx context.Context, m *Model, facts []Fact) 
 	}
 	return out, stats, err
 }
+
+// SolveMoreObserved is SolveMoreContext with an additional event sink
+// observing just this solve, layered on top of Options.Sink — how the
+// serve tier attaches a per-request trace to one commit without
+// re-configuring the program.
+func (p *Program) SolveMoreObserved(ctx context.Context, m *Model, facts []Fact, sink EventSink) (*Model, Stats, error) {
+	added := relation.NewDB(p.en.Schemas)
+	for _, f := range facts {
+		if err := addFact(added, p.en.Schemas, f); err != nil {
+			return nil, Stats{}, err
+		}
+	}
+	db, stats, err := p.en.SolveMoreObserved(ctx, m.db, added, m.stats, sink)
+	var out *Model
+	if db != nil {
+		out = &Model{db: db, schemas: p.en.Schemas, en: p.en, stats: stats}
+	}
+	return out, stats, err
+}
+
+// Profile is the operator-level execution profile of the program's
+// compiled rules (requires Options.Profile for live counters; without
+// it the structure is returned with zero counters). Counters accumulate
+// across solves; use Profile.Sub on two snapshots for a per-solve
+// delta, and Profile.Annotate to graft per-rule timings from Stats.
+type Profile = core.Profile
+
+// RuleProfile is one rule's operator pipeline within a Profile.
+type RuleProfile = core.RuleProfile
+
+// OpStats is one operator's measured counters within a RuleProfile.
+type OpStats = core.OpStats
+
+// Profile snapshots the program's cumulative operator counters.
+func (p *Program) Profile() *Profile { return p.en.Profile() }
+
+// Profiling reports whether the program was loaded with Options.Profile.
+func (p *Program) Profiling() bool { return p.en.Profiling() }
 
 // Has reports whether the ground atom (without cost) is in the model.
 func (m *Model) Has(pred string, args ...Value) bool {

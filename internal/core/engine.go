@@ -63,6 +63,12 @@ type Options struct {
 	// Trace records, for every derived tuple, the rule and ground body
 	// of its last improvement, queryable through Explain/ExplainTree.
 	Trace bool
+	// Profile enables per-operator counters in the streaming executor
+	// (rows in/out, probes, hash-build sizes, Δ sizes, changed groups
+	// per γ), read back through Engine.Profile — the EXPLAIN ANALYZE
+	// data. It has no effect on the tuple interpreter, and off (the
+	// default) the executor pays one nil check per counted event.
+	Profile bool
 	// Sink, when non-nil, receives the typed event stream of every
 	// solve (see package obs). The engine emits behind a nil check, so
 	// leaving it nil keeps the evaluation path at full speed.
@@ -104,6 +110,12 @@ type Engine struct {
 	// constructs a runner). Engines are not safe for concurrent solves,
 	// so a per-solve field is sufficient.
 	exe Executor
+	// prof is the per-rule per-step operator-counter table, allocated at
+	// New when Options.Profile is set (nil otherwise). Counters are
+	// atomic because speculative parallel passes fold concurrently; they
+	// accumulate over the engine's lifetime — Profile snapshots, and
+	// Profile.Sub produces per-solve deltas.
+	prof [][]exec.OpAccum
 	// trace holds the provenance of the most recent traced Solve.
 	trace map[string]*Derivation
 }
@@ -191,6 +203,14 @@ func New(prog *ast.Program, opts Options) (*Engine, error) {
 	// its predicates reach. SCCs returns bottom-up order, so every
 	// dependency has a smaller index and the DAG is acyclic by
 	// construction.
+	if opts.Profile {
+		en.prof = make([][]exec.OpAccum, en.nrules)
+		for _, ps := range en.plans {
+			for _, p := range ps {
+				en.prof[p.idx] = make([]exec.OpAccum, len(p.steps))
+			}
+		}
+	}
 	cidx := deps.ComponentIndex(en.comps)
 	en.compDeps = make([][]int, len(en.comps))
 	for ci, c := range en.comps {
@@ -438,7 +458,7 @@ func (en *Engine) solveNaive(g *guard, db *relation.DB, ci int, c *deps.Componen
 		stats.Rounds++
 		roundDerived := stats.Derived
 		out := relation.NewDB(db.Schemas)
-		ev := newRunner(en.exe, db, 0, nil, nil, en.opts.Trace, g.check)
+		ev := newRunner(en.exe, db, 0, nil, nil, en.opts.Trace, g.check, en.prof)
 		for _, p := range ps {
 			p := p
 			g.rule = p.rule
@@ -662,7 +682,7 @@ func (en *Engine) semiNaiveLoop(g *guard, db *relation.DB, ci int, ps []*plan, s
 		}
 		stats.Rounds++
 		rd0 := stats.Derived
-		ev := newRunner(en.exe, db, 0, nil, nil, en.opts.Trace, g.check)
+		ev := newRunner(en.exe, db, 0, nil, nil, en.opts.Trace, g.check, en.prof)
 		for _, p := range ps {
 			p := p
 			g.rule = p.rule
@@ -740,7 +760,7 @@ func (en *Engine) semiNaiveLoop(g *guard, db *relation.DB, ci int, ps []*plan, s
 				if en.opts.DisableGroupDelta {
 					groups, restricted = nil, false
 				}
-				ev := newRunner(en.exe, db, 0, nil, groups, en.opts.Trace, g.check)
+				ev := newRunner(en.exe, db, 0, nil, groups, en.opts.Trace, g.check, en.prof)
 				perr = ev.run(p, func(e *env) error { return insert(p, e) })
 				stats.Firings += ev.fir()
 				stats.Probes += ev.pr()
@@ -754,7 +774,7 @@ func (en *Engine) semiNaiveLoop(g *guard, db *relation.DB, ci int, ps []*plan, s
 				for _, k := range changedPreds {
 					rows := prev.rows[k]
 					for _, si := range p.scanSteps[k] {
-						ev := newRunner(en.exe, db, si, rows, nil, en.opts.Trace, g.check)
+						ev := newRunner(en.exe, db, si, rows, nil, en.opts.Trace, g.check, en.prof)
 						perr = ev.run(p, func(e *env) error { return insert(p, e) })
 						stats.Firings += ev.fir()
 						stats.Probes += ev.pr()

@@ -219,9 +219,12 @@ func (ev *evaluator) pr() int64  { return ev.probes }
 
 // streamRunner evaluates plans on their streaming pipelines, acquiring
 // a pooled machine per run so concurrent speculative passes never share
-// mutable state.
+// mutable state. When the engine profiles (prof non-nil, indexed by
+// plan index), each run's per-step counters fold into the shared
+// accumulators after the pass.
 type streamRunner struct {
 	cfg     exec.Config
+	prof    [][]exec.OpAccum
 	firings int64
 	probes  int64
 }
@@ -232,6 +235,14 @@ func (sr *streamRunner) run(p *plan, emit func(*env) error) error {
 	err := m.Run(func(*exec.Machine) error { return emit(aux.env) })
 	sr.firings += m.Firings
 	sr.probes += m.Probes
+	if sr.prof != nil {
+		if pc := m.Profile(); pc != nil {
+			acc := sr.prof[p.idx]
+			for i := range pc {
+				acc[i].Fold(pc[i])
+			}
+		}
+	}
 	p.stream.Release(m)
 	return err
 }
@@ -241,9 +252,12 @@ func (sr *streamRunner) pr() int64  { return sr.probes }
 
 // newRunner builds the evaluation pass for the selected executor. The
 // parameters are exactly the evaluator's fields; the streaming config
-// maps them 1:1 because step indices coincide.
+// maps them 1:1 because step indices coincide. prof, when non-nil, is
+// the engine's per-rule operator-counter table (Options.Profile); only
+// the streaming executor feeds it.
 func newRunner(exe Executor, db *relation.DB, restrictStep int, restrictRows []relation.Row,
-	aggGroups map[int]map[string]exec.GroupRef, trace bool, check func() error) runner {
+	aggGroups map[int]map[string]exec.GroupRef, trace bool, check func() error,
+	prof [][]exec.OpAccum) runner {
 	if exe == ExecutorStream {
 		return &streamRunner{cfg: exec.Config{
 			DB:           db,
@@ -251,8 +265,9 @@ func newRunner(exe Executor, db *relation.DB, restrictStep int, restrictRows []r
 			RestrictRows: restrictRows,
 			AggGroups:    aggGroups,
 			Trace:        trace,
+			Prof:         prof != nil,
 			Check:        check,
-		}}
+		}, prof: prof}
 	}
 	return &evaluator{db: db, restrictStep: restrictStep, restrictRows: restrictRows,
 		aggGroups: aggGroups, trace: trace, check: check}

@@ -37,6 +37,24 @@ func (en *Engine) SolveMoreContext(ctx context.Context, prev *relation.DB, added
 	return en.SolveMoreFrom(ctx, prev, added, Stats{})
 }
 
+// SolveMoreObserved is SolveMoreFrom with an additional per-call event
+// sink observing just this solve (tracing a single commit, say) on top
+// of the engine's configured Options.Sink. The extra sink is
+// mutex-wrapped like the construction-time one, so plain sinks stay
+// safe under the parallel scheduler. Engines do not support concurrent
+// solves (the fixpoint mutates shared per-plan scratch), so swapping
+// the sink for the duration of the call introduces no new constraint;
+// callers already serialize solves externally.
+func (en *Engine) SolveMoreObserved(ctx context.Context, prev *relation.DB, added *relation.DB, base Stats, extra obs.Sink) (*relation.DB, Stats, error) {
+	if extra == nil {
+		return en.SolveMoreFrom(ctx, prev, added, base)
+	}
+	saved := en.sink
+	en.sink = obs.Multi(saved, obs.Locked(extra))
+	defer func() { en.sink = saved }()
+	return en.SolveMoreFrom(ctx, prev, added, base)
+}
+
 // SolveMoreFrom is SolveMoreContext with the returned Stats seeded from
 // base: callers chaining incremental solves (or resuming from durable
 // checkpoints, whose metadata records cumulative work) pass the stats

@@ -189,7 +189,7 @@ func (en *Engine) bufferEmit(p *plan, t *ruleTask) func(*env) error {
 func (en *Engine) bufferFullPass(g *guard, p *plan, db *relation.DB, t *ruleTask) {
 	defer taskRecover(g, p, t)
 	t.ran, t.active = true, true
-	ev := newRunner(en.exe, db, 0, nil, nil, en.opts.Trace, taskCheck(g, p))
+	ev := newRunner(en.exe, db, 0, nil, nil, en.opts.Trace, taskCheck(g, p), en.prof)
 	err := ev.run(p, en.bufferEmit(p, t))
 	t.firings, t.probes = ev.fir(), ev.pr()
 	t.err = err
@@ -230,7 +230,7 @@ func (en *Engine) deltaPasses(p *plan, db *relation.DB, prev *deltaSet, changedP
 		if en.opts.DisableGroupDelta {
 			groups, restricted = nil, false
 		}
-		ev := newRunner(en.exe, db, 0, nil, groups, en.opts.Trace, check)
+		ev := newRunner(en.exe, db, 0, nil, groups, en.opts.Trace, check, en.prof)
 		err = ev.run(p, emit)
 		firings += ev.fir()
 		probes += ev.pr()
@@ -241,7 +241,7 @@ func (en *Engine) deltaPasses(p *plan, db *relation.DB, prev *deltaSet, changedP
 		for _, k := range changedPreds {
 			rows := prev.rows[k]
 			for _, si := range p.scanSteps[k] {
-				ev := newRunner(en.exe, db, si, rows, nil, en.opts.Trace, check)
+				ev := newRunner(en.exe, db, si, rows, nil, en.opts.Trace, check, en.prof)
 				err = ev.run(p, emit)
 				firings += ev.fir()
 				probes += ev.pr()
@@ -394,7 +394,7 @@ func (en *Engine) parSemiNaiveLoop(pc *parRun, g *guard, db *relation.DB, ci int
 				stats.Probes += t.probes
 				perr = replay(p, t)
 			} else {
-				ev := newRunner(en.exe, db, 0, nil, nil, en.opts.Trace, g.check)
+				ev := newRunner(en.exe, db, 0, nil, nil, en.opts.Trace, g.check, en.prof)
 				perr = ev.run(p, func(e *env) error { return insert(p, e) })
 				stats.Firings += ev.fir()
 				stats.Probes += ev.pr()

@@ -47,6 +47,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/ast"
 	"repro/internal/lattice"
@@ -175,8 +176,83 @@ type Config struct {
 	AggGroups map[int]map[string]GroupRef
 	// Trace enables provenance capture through the hooks.
 	Trace bool
+	// Prof enables per-step operator counters (Machine.Profile). Off,
+	// the run pays one nil check per counted event and allocates
+	// nothing.
+	Prof bool
 	// Check, when non-nil, is polled at every pipeline terminal.
 	Check func() error
+}
+
+// OpCounts is one pipeline step's operator counters for a single run:
+// the cardinality and probe signals EXPLAIN ANALYZE renders and the
+// cost-based planner will consume.
+type OpCounts struct {
+	// In counts rows entering the step (invocations of the operator);
+	// Out counts rows it passed downstream — for the last step, the
+	// pipeline's firings.
+	In  int64
+	Out int64
+	// Probes counts index probes the step performed (rows offered by
+	// its cursor, plus Δ-row cost re-fetches on the restricted scan).
+	Probes int64
+	// Build is the size of the largest indexed relation the step
+	// consulted — the build side of the hash join it probes.
+	Build int64
+	// Delta counts Δ rows offered when this step drove a semi-naive
+	// pass (the delta-aware side of the join).
+	Delta int64
+	// Groups counts aggregate groups a γ step emitted (the changed
+	// groups under Δ restriction).
+	Groups int64
+}
+
+// add folds src into c (Build by maximum — it is a high-water mark,
+// not a flow count).
+func (c *OpCounts) add(src OpCounts) {
+	c.In += src.In
+	c.Out += src.Out
+	c.Probes += src.Probes
+	c.Delta += src.Delta
+	c.Groups += src.Groups
+	if src.Build > c.Build {
+		c.Build = src.Build
+	}
+}
+
+// OpAccum is the engine-side shared accumulator for one step's
+// counters: machines from concurrent speculative passes fold into it,
+// so every field is atomic (Build via CAS-max).
+type OpAccum struct {
+	In, Out, Probes, Delta, Groups atomic.Int64
+	Build                          atomic.Int64
+}
+
+// Fold adds one run's counters into the accumulator.
+func (a *OpAccum) Fold(c OpCounts) {
+	a.In.Add(c.In)
+	a.Out.Add(c.Out)
+	a.Probes.Add(c.Probes)
+	a.Delta.Add(c.Delta)
+	a.Groups.Add(c.Groups)
+	for {
+		old := a.Build.Load()
+		if c.Build <= old || a.Build.CompareAndSwap(old, c.Build) {
+			break
+		}
+	}
+}
+
+// Snapshot reads the accumulator's current counters.
+func (a *OpAccum) Snapshot() OpCounts {
+	return OpCounts{
+		In:     a.In.Load(),
+		Out:    a.Out.Load(),
+		Probes: a.Probes.Load(),
+		Delta:  a.Delta.Load(),
+		Groups: a.Groups.Load(),
+		Build:  a.Build.Load(),
+	}
 }
 
 // Rule is one compiled pipeline, shared read-only by every Machine
@@ -200,6 +276,11 @@ type Machine struct {
 	kbuf    []byte // shared key-building scratch; every use is consumed before the next
 	Firings int64
 	Probes  int64
+	// prof is the per-step counter table while Config.Prof is set, nil
+	// otherwise (the disabled fast path is a nil check). profBuf is the
+	// lazily allocated backing array, reused across runs.
+	prof    []OpCounts
+	profBuf []OpCounts
 	// Aux holds host state cached by Hooks.Init (e.g. the provenance
 	// environment aliasing Regs).
 	Aux any
@@ -256,7 +337,35 @@ func (r *Rule) Acquire(cfg Config) *Machine {
 	}
 	m.cfg = cfg
 	m.Firings, m.Probes = 0, 0
+	if cfg.Prof {
+		if m.profBuf == nil {
+			m.profBuf = make([]OpCounts, len(r.Steps))
+		} else {
+			clear(m.profBuf)
+		}
+		m.prof = m.profBuf
+	} else {
+		m.prof = nil
+	}
 	return m
+}
+
+// Profile returns the run's per-step counters with the flow fields
+// resolved (a step's Out is the next step's In; the last step's Out is
+// the run's firings), or nil when profiling was off. The slice is owned
+// by the machine and valid until the next Acquire.
+func (m *Machine) Profile() []OpCounts {
+	if m.prof == nil {
+		return nil
+	}
+	for i := range m.prof {
+		if i+1 < len(m.prof) {
+			m.prof[i].Out = m.prof[i+1].In
+		} else {
+			m.prof[i].Out = m.Firings
+		}
+	}
+	return m.prof
 }
 
 // Release returns a Machine to the pool, dropping references into the
@@ -321,6 +430,9 @@ func (m *Machine) runStep(i int) error {
 		}
 		return m.emit(m)
 	}
+	if m.prof != nil {
+		m.prof[i].In++
+	}
 	s := &m.rule.Steps[i]
 	switch s.Kind {
 	case ScanKind:
@@ -361,6 +473,10 @@ func (m *Machine) runScan(i int, s *Step) error {
 				row = cur
 			}
 			m.Probes++
+			if m.prof != nil {
+				m.prof[i].Probes++
+				m.prof[i].Delta++
+			}
 			saved, ok := m.bindRow(at, st, row)
 			if !ok {
 				continue
@@ -374,9 +490,9 @@ func (m *Machine) runScan(i int, s *Step) error {
 		return nil
 	}
 	var c cursor
-	m.open(&c, at, st)
+	m.open(&c, at, st, i)
 	for {
-		row, ok := m.next(&c, at)
+		row, ok := m.next(&c, at, i)
 		if !ok {
 			return nil
 		}
@@ -457,10 +573,16 @@ const (
 )
 
 // open positions c over the rows of at matching the currently bound
-// registers.
-func (m *Machine) open(c *cursor, at *Atom, st *scanState) {
+// registers. profStep attributes the step's build-side size when
+// profiling (the γ step's index for aggregate-conjunction cursors).
+func (m *Machine) open(c *cursor, at *Atom, st *scanState, profStep int) {
 	rel := m.cfg.DB.Rel(at.Pred)
 	c.rel = rel
+	if m.prof != nil {
+		if n := int64(rel.Len()); n > m.prof[profStep].Build {
+			m.prof[profStep].Build = n
+		}
+	}
 	if at.Info.HasDefault {
 		// Point lookup (the planner guarantees the non-cost arguments
 		// are bound); a miss synthesizes the default (bottom) row.
@@ -518,15 +640,16 @@ func (m *Machine) open(c *cursor, at *Atom, st *scanState) {
 
 // next pulls the next candidate row, counting a probe per row offered
 // (after the wide-atom post-filter, before binding — the same
-// accounting as relation.Match under the tuple interpreter).
-func (m *Machine) next(c *cursor, at *Atom) (relation.Row, bool) {
+// accounting as relation.Match under the tuple interpreter). profStep
+// attributes the probes when profiling.
+func (m *Machine) next(c *cursor, at *Atom, profStep int) (relation.Row, bool) {
 	switch c.mode {
 	case curPoint:
 		if c.done {
 			return relation.Row{}, false
 		}
 		c.done = true
-		m.Probes++
+		m.probe(profStep)
 		return c.row, true
 	case curFull:
 		if c.pos >= c.n {
@@ -534,7 +657,7 @@ func (m *Machine) next(c *cursor, at *Atom) (relation.Row, bool) {
 		}
 		row := c.rel.At(c.pos)
 		c.pos++
-		m.Probes++
+		m.probe(profStep)
 		return row, true
 	default:
 		for c.pos < len(c.bucket) {
@@ -543,10 +666,18 @@ func (m *Machine) next(c *cursor, at *Atom) (relation.Row, bool) {
 			if at.Wide && !m.postMatch(at, row) {
 				continue
 			}
-			m.Probes++
+			m.probe(profStep)
 			return row, true
 		}
 		return relation.Row{}, false
+	}
+}
+
+// probe counts one index probe, attributed to a step when profiling.
+func (m *Machine) probe(profStep int) {
+	m.Probes++
+	if m.prof != nil {
+		m.prof[profStep].Probes++
 	}
 }
 
@@ -754,9 +885,9 @@ func (m *Machine) enumConj(idx int, s *AggStep, st *aggState, order []int, d int
 	at := &s.Conj[order[d]]
 	cs := &st.conj[order[d]]
 	var c cursor
-	m.open(&c, at, cs)
+	m.open(&c, at, cs, idx)
 	for {
-		row, ok := m.next(&c, at)
+		row, ok := m.next(&c, at, idx)
 		if !ok {
 			return nil
 		}
@@ -777,6 +908,9 @@ func (m *Machine) enumConj(idx int, s *AggStep, st *aggState, order []int, d int
 func (m *Machine) emitGroup(idx int, s *AggStep, st *aggState, keyVals []val.T, elems []lattice.Elem, supports any) error {
 	if s.Restricted && len(elems) == 0 {
 		return nil
+	}
+	if m.prof != nil {
+		m.prof[idx].Groups++
 	}
 	res, ok := s.Apply(elems)
 	if !ok {

@@ -1,0 +1,240 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+	"time"
+)
+
+func TestTraceparentRoundTrip(t *testing.T) {
+	tid, sid := NewTraceID(), NewSpanID()
+	h := Traceparent(tid, sid)
+	if len(h) != 55 {
+		t.Fatalf("header length %d, want 55: %q", len(h), h)
+	}
+	gotTID, gotSID, ok := ParseTraceparent(h)
+	if !ok || gotTID != tid || gotSID != sid {
+		t.Fatalf("round trip failed: %q -> (%v, %v, %v)", h, gotTID, gotSID, ok)
+	}
+}
+
+func TestParseTraceparentMalformed(t *testing.T) {
+	valid := "00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01"
+	if _, _, ok := ParseTraceparent(valid); !ok {
+		t.Fatalf("reference header rejected: %q", valid)
+	}
+	reject := map[string]string{
+		"empty":          "",
+		"short":          "00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7",
+		"bad dash 2":     "00x4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01",
+		"bad dash 35":    "00-4bf92f3577b34da6a3ce929d0e0e4736x00f067aa0ba902b7-01",
+		"bad dash 52":    "00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7x01",
+		"version ff":     "ff-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01",
+		"bad version":    "zz-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01",
+		"zero trace id":  "00-00000000000000000000000000000000-00f067aa0ba902b7-01",
+		"zero span id":   "00-4bf92f3577b34da6a3ce929d0e0e4736-0000000000000000-01",
+		"bad trace hex":  "00-4bf92f3577b34da6a3ce929d0e0e473g-00f067aa0ba902b7-01",
+		"bad span hex":   "00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902bg-01",
+		"bad flags hex":  "00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-0g",
+		"v00 w/ suffix":  "00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01-extra",
+		"v01 bad suffix": "01-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01x",
+	}
+	for name, h := range reject {
+		if _, _, ok := ParseTraceparent(h); ok {
+			t.Errorf("%s: accepted malformed header %q", name, h)
+		}
+	}
+	// A future version may append dash-separated fields after the fixed
+	// 55-byte prefix.
+	future := "01-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01-future"
+	if _, _, ok := ParseTraceparent(future); !ok {
+		t.Errorf("future-version header with suffix rejected: %q", future)
+	}
+}
+
+func TestTraceSpansAndFinish(t *testing.T) {
+	tr := NewTrace("root")
+	root := tr.Root()
+	if root.IsZero() {
+		t.Fatal("zero root span id")
+	}
+	child := tr.StartSpan("child", root)
+	grand := tr.RecordSpan("grand", child, tr.RootStart(), time.Now(), IntAttr("n", 7))
+	tr.EndSpan(child, StringAttr("k", "v"))
+	rec := tr.Finish()
+
+	if rec.TraceID != tr.ID() || !rec.Remote.IsZero() {
+		t.Fatalf("record identity wrong: %+v", rec)
+	}
+	if len(rec.Spans) != 3 {
+		t.Fatalf("got %d spans, want 3", len(rec.Spans))
+	}
+	if rec.Root().ID != root || !rec.Root().Parent.IsZero() {
+		t.Fatalf("root span wrong: %+v", rec.Root())
+	}
+	byID := map[SpanID]Span{}
+	for _, sp := range rec.Spans {
+		byID[sp.ID] = sp
+	}
+	if byID[child].Parent != root || byID[grand].Parent != child {
+		t.Fatal("parentage broken")
+	}
+	for _, sp := range rec.Spans {
+		if sp.End.Before(sp.Start) {
+			t.Fatalf("span %q ends before it starts", sp.Name)
+		}
+		if sp.End.IsZero() {
+			t.Fatalf("span %q left open after Finish", sp.Name)
+		}
+	}
+
+	// Finish is idempotent, and mutation after Finish is ignored.
+	if id := tr.StartSpan("late", root); !id.IsZero() {
+		t.Fatal("StartSpan after Finish returned a live span")
+	}
+	if id := tr.RecordSpan("late", root, time.Now(), time.Now()); !id.IsZero() {
+		t.Fatal("RecordSpan after Finish returned a live span")
+	}
+	tr.Annotate(root, StringAttr("late", "x"))
+	rec2 := tr.Finish(StringAttr("late", "y"))
+	if len(rec2.Spans) != 3 {
+		t.Fatalf("second Finish changed span count: %d", len(rec2.Spans))
+	}
+	for _, a := range rec2.Root().Attrs {
+		if a.Key == "late" {
+			t.Fatal("attribute added after Finish")
+		}
+	}
+}
+
+func TestContinueTraceKeepsRemoteParent(t *testing.T) {
+	tid, parent := NewTraceID(), NewSpanID()
+	tr := ContinueTrace("root", tid, parent)
+	rec := tr.Finish()
+	if rec.TraceID != tid || rec.Remote != parent || rec.Root().Parent != parent {
+		t.Fatalf("continued trace lost inbound context: %+v", rec)
+	}
+}
+
+func TestFlightRecorderWraparound(t *testing.T) {
+	r := NewFlightRecorder(4)
+	var want []TraceID
+	for i := 0; i < 10; i++ {
+		tr := NewTrace("t")
+		rec := tr.Finish()
+		r.Add(rec)
+		want = append(want, rec.TraceID)
+	}
+	if got := r.Total(); got != 10 {
+		t.Fatalf("Total() = %d, want 10", got)
+	}
+	snap := r.Snapshot()
+	if len(snap) != 4 {
+		t.Fatalf("retained %d traces, want 4", len(snap))
+	}
+	// Oldest first: the last four added, in order.
+	for i, rec := range snap {
+		if rec.TraceID != want[6+i] {
+			t.Fatalf("snapshot[%d] = %v, want %v", i, rec.TraceID, want[6+i])
+		}
+		if len(rec.Spans) == 0 || rec.Spans[0].ID.IsZero() {
+			t.Fatalf("snapshot[%d] not self-consistent: %+v", i, rec)
+		}
+	}
+}
+
+func TestWriteChromeTrace(t *testing.T) {
+	tr := NewTrace("root")
+	tr.RecordSpan("phase", tr.Root(), tr.RootStart(), time.Now(), IntAttr("rows", 5))
+	rec := tr.Finish()
+
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, []TraceRecord{rec}); err != nil {
+		t.Fatal(err)
+	}
+	var out struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Ph   string         `json:"ph"`
+			TID  int            `json:"tid"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &out); err != nil {
+		t.Fatalf("invalid trace-event JSON: %v\n%s", err, buf.String())
+	}
+	if len(out.TraceEvents) != 2 {
+		t.Fatalf("got %d events, want 2", len(out.TraceEvents))
+	}
+	for _, ev := range out.TraceEvents {
+		if ev.Ph != "X" || ev.TID != 1 {
+			t.Fatalf("event shape wrong: %+v", ev)
+		}
+		if ev.Args["trace_id"] != rec.TraceID.String() {
+			t.Fatalf("event %q missing trace_id arg: %v", ev.Name, ev.Args)
+		}
+	}
+}
+
+// TestSpanSink drives the sink with a hand-written event sequence and
+// checks the synthesized component -> round -> rule hierarchy.
+func TestSpanSink(t *testing.T) {
+	tr := NewTrace("solve")
+	s := NewSpanSink(tr, tr.Root())
+	s.Event(Event{Kind: ComponentBegin, Component: 0, Preds: "path, s", WFS: false})
+	s.Event(Event{Kind: RuleFired, Component: 0, Round: 1, Rule: "r", RuleIndex: 5, Firings: 5, Derived: 5, Probes: 5, Nanos: 100})
+	s.Event(Event{Kind: RoundEnd, Component: 0, Round: 1, Firings: 5, Derived: 5, Probes: 5})
+	s.Event(Event{Kind: RuleFired, Component: 0, Round: 2, Rule: "r", RuleIndex: 5, Firings: 8, Derived: 8, Probes: 9, Nanos: 250})
+	s.Event(Event{Kind: RoundEnd, Component: 0, Round: 2, Firings: 8, Derived: 8, Probes: 9})
+	s.Event(Event{Kind: ComponentEnd, Component: 0, Round: 2, Firings: 13, Derived: 13})
+	s.Event(Event{Kind: SolveEnd, Round: 2, Firings: 13, Derived: 13, Probes: 14})
+	rec := tr.Finish()
+
+	comps := rec.FindSpans("component 0")
+	if len(comps) != 1 {
+		t.Fatalf("component spans = %d, want 1", len(comps))
+	}
+	if comps[0].Parent != rec.Root().ID {
+		t.Fatal("component span not parented under the solve span")
+	}
+	rounds := append(rec.FindSpans("round 1"), rec.FindSpans("round 2")...)
+	if len(rounds) != 2 {
+		t.Fatalf("round spans = %d, want 2", len(rounds))
+	}
+	for _, r := range rounds {
+		if r.Parent != comps[0].ID {
+			t.Fatalf("round span %q not parented under component", r.Name)
+		}
+	}
+	rules := rec.FindSpans("rule 5")
+	if len(rules) != 2 {
+		t.Fatalf("rule spans = %d, want 2", len(rules))
+	}
+	// The second firing carries a per-pass delta of the cumulative nanos.
+	var passes []int64
+	for _, rs := range rules {
+		for _, a := range rs.Attrs {
+			if a.Key == "nanos_pass" {
+				passes = append(passes, a.Value.(int64))
+			}
+		}
+	}
+	if len(passes) != 1 || passes[0] != 150 {
+		t.Fatalf("nanos_pass attrs = %v, want [150]", passes)
+	}
+	// The last completed rule span is retrievable for operator parenting.
+	if id, ok := s.RuleSpan(5); !ok || id != rules[1].ID {
+		t.Fatalf("RuleSpan(5) = (%v, %v), want last rule span", id, ok)
+	}
+	// SolveEnd annotates the parent span with the totals.
+	found := false
+	for _, a := range rec.Root().Attrs {
+		if a.Key == "firings" && a.Value.(int64) == 13 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("SolveEnd totals missing from parent span attrs: %v", rec.Root().Attrs)
+	}
+}

@@ -3,10 +3,12 @@ package server
 import (
 	"context"
 	"fmt"
+	"strings"
 	"time"
 
 	"repro/datalog"
 	"repro/internal/faults"
+	"repro/internal/obs"
 )
 
 // Group commit: the write path of the serve tier.
@@ -45,6 +47,19 @@ type commitReq struct {
 	// done receives exactly one result; buffered so the committer never
 	// blocks on a handler that has given up waiting.
 	done chan commitResult
+	// reqID is the submitting request's X-Request-Id, carried into the
+	// commit path so committer log lines — poison-batch retries above
+	// all — stay attributable to the request that queued the batch.
+	reqID string
+	// tr/root carry the submitting request's trace (tr nil when the
+	// batch was enqueued outside the instrumented handler chain);
+	// enqueued is when the batch entered the queue. The commit path
+	// records queue/solve/wal/publish spans against them; tr is safe to
+	// use after the waiting handler has given up — a finished trace
+	// ignores further spans.
+	tr       *obs.Trace
+	root     obs.SpanID
+	enqueued time.Time
 }
 
 // commitResult is the outcome of one batch.
@@ -148,11 +163,7 @@ func (svc *service) commit(batch []*commitReq) {
 		return
 	}
 	svc.srv.metrics.commitBatch.With(svc.name).Observe(float64(len(batch)))
-	batches := make([][]datalog.Fact, len(batch))
-	for i, req := range batch {
-		batches[i] = req.facts
-	}
-	res, seqs := svc.solveAndPublish(ctx, batches)
+	res, seqs := svc.solveAndPublish(ctx, batch)
 	if res.err == nil || len(batch) == 1 {
 		svc.respondAll(batch, res, seqs)
 		return
@@ -163,13 +174,34 @@ func (svc *service) commit(batch []*commitReq) {
 	// the successful ones equivalent to their share of the merged
 	// solve.)
 	svc.srv.metrics.commitIsolated.With(svc.name).Add(int64(len(batch)))
+	svc.srv.logf("program %s: merged commit of %d batches failed (%v); retrying alone (requests: %s)",
+		svc.name, len(batch), res.err, requestIDs(batch))
 	for _, req := range batch {
-		solo, soloSeqs := svc.solveAndPublish(svc.commitContext(), [][]datalog.Fact{req.facts})
+		solo, soloSeqs := svc.solveAndPublish(svc.commitContext(), []*commitReq{req})
 		if len(soloSeqs) == 1 {
 			solo.seq = soloSeqs[0]
 		}
+		if solo.err != nil {
+			svc.srv.logf("program %s: batch from request %s rejected: %v", svc.name, orUnknown(req.reqID), solo.err)
+		}
 		req.done <- solo
 	}
+}
+
+// requestIDs renders a batch group's request identifiers for log lines.
+func requestIDs(batch []*commitReq) string {
+	ids := make([]string, len(batch))
+	for i, req := range batch {
+		ids[i] = orUnknown(req.reqID)
+	}
+	return strings.Join(ids, ", ")
+}
+
+func orUnknown(id string) string {
+	if id == "" {
+		return "unknown"
+	}
+	return id
 }
 
 // respondAll delivers one shared result to every batch in a group,
@@ -208,8 +240,8 @@ func (svc *service) commitContext() context.Context {
 // the batch answers 500, readiness trips, and the model keeps serving
 // the previous fixpoint. The converse order would let readers observe
 // facts a crash could forget.
-func (svc *service) solveAndPublish(ctx context.Context, batches [][]datalog.Fact) (commitResult, []uint64) {
-	coalesced := len(batches)
+func (svc *service) solveAndPublish(ctx context.Context, batch []*commitReq) (commitResult, []uint64) {
+	coalesced := len(batch)
 	if svc.srv.cfg.RequestTimeout > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, svc.srv.cfg.RequestTimeout)
@@ -220,20 +252,63 @@ func (svc *service) solveAndPublish(ctx context.Context, batches [][]datalog.Fac
 	}
 	svc.writeMu.Lock()
 	defer svc.writeMu.Unlock()
+	// Queue-wait spans: [enqueue, writer acquired] per traced batch. The
+	// leader — the first traced batch — additionally owns the solve
+	// span; its trace gets the nested component/round/rule spans from
+	// the engine's event stream, so one solve is never narrated twice.
+	var leader *commitReq
+	now := time.Now()
+	for _, req := range batch {
+		if req.tr == nil {
+			continue
+		}
+		req.tr.RecordSpan("queue", req.root, req.enqueued, now)
+		if leader == nil {
+			leader = req
+		}
+	}
 	if svc.wal != nil && svc.walBroken.Load() {
 		return commitResult{coalesced: coalesced,
 			err: fmt.Errorf("%w: log broken by an earlier failure; restart to recover", errWALFailed)}, nil
 	}
 	start := time.Now()
 	cur := svc.cur.Load()
-	facts := batches[0]
+	facts := batch[0].facts
 	if coalesced > 1 {
 		facts = make([]datalog.Fact, 0, coalesced*2)
-		for _, b := range batches {
-			facts = append(facts, b...)
+		for _, req := range batch {
+			facts = append(facts, req.facts...)
 		}
 	}
-	m, stats, err := svc.prog.SolveMoreContext(ctx, cur.model, facts)
+	var extra datalog.EventSink
+	var ssink *obs.SpanSink
+	var solveSpan obs.SpanID
+	var profBefore *datalog.Profile
+	if leader != nil {
+		solveSpan = leader.tr.StartSpanAt("solve", leader.root, start)
+		ssink = obs.NewSpanSink(leader.tr, solveSpan)
+		extra = ssink
+		if svc.prog.Profiling() {
+			profBefore = svc.prog.Profile()
+		}
+	}
+	m, stats, err := svc.prog.SolveMoreObserved(ctx, cur.model, facts, extra)
+	solveEnd := time.Now()
+	if leader != nil {
+		leader.tr.EndSpanAt(solveSpan, solveEnd, obs.IntAttr("coalesced", int64(coalesced)))
+		for _, req := range batch {
+			if req.tr != nil && req != leader {
+				// Followers record the shared solve window flat, pointing
+				// at the leader's trace for the detailed narration.
+				req.tr.RecordSpan("solve", req.root, start, solveEnd,
+					obs.StringAttr("shared_with_trace", leader.tr.ID().String()),
+					obs.IntAttr("coalesced", int64(coalesced)))
+			}
+		}
+		if profBefore != nil && err == nil {
+			recordOperatorSpans(leader.tr, ssink, svc.prog.Profile().Sub(profBefore))
+		}
+	}
 	if err != nil {
 		return commitResult{stats: stats, coalesced: coalesced, err: err}, nil
 	}
@@ -243,21 +318,37 @@ func (svc *service) solveAndPublish(ctx context.Context, batches [][]datalog.Fac
 	}
 	if svc.wal != nil {
 		policy := svc.srv.walFsyncPolicy()
-		for i, b := range batches {
-			if err := svc.walAppend(seqs[i], b); err != nil {
+		for i, req := range batch {
+			appendStart := time.Now()
+			if err := svc.walAppend(seqs[i], req.facts); err != nil {
 				return commitResult{stats: stats, coalesced: coalesced, err: svc.walFail("append", err)}, nil
 			}
+			if req.tr != nil {
+				req.tr.RecordSpan("wal.append", req.root, appendStart, time.Now(), obs.IntAttr("seq", int64(seqs[i])))
+			}
 			if policy == FsyncAlways {
+				fsyncStart := time.Now()
 				if err := svc.walSync(); err != nil {
 					return commitResult{stats: stats, coalesced: coalesced, err: svc.walFail("fsync", err)}, nil
+				}
+				if req.tr != nil {
+					req.tr.RecordSpan("wal.fsync", req.root, fsyncStart, time.Now())
 				}
 			}
 		}
 		if policy == FsyncBatch {
 			// Group commit: one fsync covers the whole drain, before any
-			// batch in it is acked.
+			// batch in it is acked. Every traced batch records the shared
+			// window — each request really did wait for this fsync.
+			fsyncStart := time.Now()
 			if err := svc.walSync(); err != nil {
 				return commitResult{stats: stats, coalesced: coalesced, err: svc.walFail("fsync", err)}, nil
+			}
+			fsyncEnd := time.Now()
+			for _, req := range batch {
+				if req.tr != nil {
+					req.tr.RecordSpan("wal.fsync", req.root, fsyncStart, fsyncEnd, obs.IntAttr("coalesced", int64(coalesced)))
+				}
 			}
 		}
 		// The log now owns these sequence numbers; advance past them
@@ -275,6 +366,7 @@ func (svc *service) solveAndPublish(ctx context.Context, batches [][]datalog.Fac
 		return commitResult{stats: stats, coalesced: coalesced,
 			err: fmt.Errorf("%w: publishing generation %d: %v", datalog.ErrInternal, cur.version+1, err)}, nil
 	}
+	publishStart := time.Now()
 	next := &modelState{model: m, version: cur.version + 1, warm: cur.warm}
 	svc.cur.Store(next)
 	if svc.wal == nil {
@@ -283,7 +375,42 @@ func (svc *service) solveAndPublish(ctx context.Context, batches [][]datalog.Fac
 	svc.srv.metrics.commitSeq.With(svc.name).Set(float64(seqs[coalesced-1]))
 	svc.observeSolve(time.Since(start))
 	svc.srv.metrics.publishModel(svc.name, next.version, m.Size())
+	publishEnd := time.Now()
+	for _, req := range batch {
+		if req.tr != nil {
+			req.tr.RecordSpan("publish", req.root, publishStart, publishEnd, obs.IntAttr("version", int64(next.version)))
+		}
+	}
 	return commitResult{state: next, stats: stats, coalesced: coalesced}, seqs
+}
+
+// recordOperatorSpans attaches per-operator profile spans under the rule
+// spans the solve's SpanSink recorded: for every rule that fired, each
+// pipeline operator gets a span carrying its measured counters for THIS
+// solve (the delta of the cumulative accumulators). Operator spans share
+// their rule span's window — the executor measures rows, not per-
+// operator wall time, and the trace stays honest about that.
+func recordOperatorSpans(tr *obs.Trace, ssink *obs.SpanSink, delta *datalog.Profile) {
+	for _, rp := range delta.Rules {
+		ruleSpan, ok := ssink.RuleSpan(rp.Index)
+		if !ok {
+			continue
+		}
+		start, end, ok := tr.Window(ruleSpan)
+		if !ok {
+			continue
+		}
+		for _, op := range rp.Ops {
+			tr.RecordSpan(fmt.Sprintf("op%d %s", op.Step, op.Kind), ruleSpan, start, end,
+				obs.StringAttr("op", op.Op),
+				obs.IntAttr("rows_in", op.In),
+				obs.IntAttr("rows_out", op.Out),
+				obs.IntAttr("probes", op.Probes),
+				obs.IntAttr("build", op.Build),
+				obs.IntAttr("delta_rows", op.Delta),
+				obs.IntAttr("groups", op.Groups))
+		}
+	}
 }
 
 // observeSolve folds one successful commit's solve duration into the

@@ -231,12 +231,16 @@ func TestCommitSoloEqualsGrouped(t *testing.T) {
 
 	solo := mk()
 	for _, d := range deltas {
-		if res, _ := solo.solveAndPublish(context.Background(), [][]datalog.Fact{d}); res.err != nil {
+		if res, _ := solo.solveAndPublish(context.Background(), []*commitReq{{facts: d}}); res.err != nil {
 			t.Fatal(res.err)
 		}
 	}
 	grouped := mk()
-	if res, _ := grouped.solveAndPublish(context.Background(), deltas); res.err != nil {
+	group := make([]*commitReq, len(deltas))
+	for i, d := range deltas {
+		group[i] = &commitReq{facts: d}
+	}
+	if res, _ := grouped.solveAndPublish(context.Background(), group); res.err != nil {
 		t.Fatal(res.err)
 	}
 

@@ -83,9 +83,9 @@ func TestConcurrentReadersWithWriter(t *testing.T) {
 		prev := "d"
 		for i := 0; i < writerBatches; i++ {
 			node := fmt.Sprintf("n%d", i)
-			res, _ := svc.solveAndPublish(context.Background(), [][]datalog.Fact{{
+			res, _ := svc.solveAndPublish(context.Background(), []*commitReq{{facts: []datalog.Fact{
 				datalog.NewFact("arc", datalog.Sym(prev), datalog.Sym(node), datalog.Num(1)),
-			}})
+			}}})
 			if res.err != nil {
 				errc <- fmt.Errorf("assert %d: %w", i, res.err)
 				return

@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"repro/datalog"
+	"repro/internal/obs"
 )
 
 // maxBodyBytes bounds request bodies; assert batches beyond this are
@@ -20,18 +21,22 @@ const maxBodyBytes = 8 << 20
 
 // Handler returns the HTTP API:
 //
-//	GET  /healthz     liveness and uptime (200 as long as the process serves)
-//	GET  /readyz      readiness: 503 while materializing or draining
-//	GET  /metrics     Prometheus text exposition (JSON via Accept)
-//	GET  /v1/program  classification, declarations and model info
-//	GET  /v1/stats    per-rule and per-component evaluation breakdowns
-//	POST /v1/query    point lookups (has/cost) and wildcard scans (facts)
-//	POST /v1/assert   batch EDB insertion through the group-commit queue
-//	POST /v1/explain  derivation trees (requires tracing)
+//	GET  /healthz          liveness and uptime (200 as long as the process serves)
+//	GET  /readyz           readiness: 503 while materializing or draining
+//	GET  /metrics          Prometheus text exposition (JSON via Accept)
+//	GET  /debug/traces     flight-recorder dump (Chrome trace-event JSON)
+//	GET  /v1/program       classification, declarations and model info
+//	GET  /v1/stats         per-rule and per-component evaluation breakdowns
+//	GET  /v1/explain/plan  compiled operator trees; ?analyze=1 adds measured counters
+//	POST /v1/query         point lookups (has/cost) and wildcard scans (facts)
+//	POST /v1/assert        batch EDB insertion through the group-commit queue
+//	POST /v1/explain       derivation trees (requires tracing)
 //
 // Every request — including unknown paths — passes through the
 // instrumentation middleware: latency/error accounting (unknowns are
-// recorded under the "other" endpoint), an X-Request-Id echo, and
+// recorded under the "other" endpoint), an X-Request-Id echo, a
+// per-request trace (continuing an inbound W3C traceparent header,
+// echoed as X-Trace-Id and retained in the flight recorder), and
 // structured request logs when Config.Logger is set.
 //
 // Call Materialize first; the handler answers 503 for query endpoints
@@ -41,8 +46,10 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /readyz", s.handleReadyz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /debug/traces", s.handleDebugTraces)
 	mux.HandleFunc("GET /v1/program", s.handleProgram)
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	mux.HandleFunc("GET /v1/explain/plan", s.handleExplainPlan)
 	mux.HandleFunc("POST /v1/query", s.handleQuery)
 	mux.HandleFunc("POST /v1/assert", s.handleAssert)
 	mux.HandleFunc("POST /v1/explain", s.handleExplain)
@@ -72,8 +79,12 @@ func newRequestID() string {
 // instrument wraps the whole mux: every request (known endpoint or not)
 // is timed, counted under its normalized endpoint label, tagged with a
 // request id (an inbound X-Request-Id is honored, otherwise one is
-// generated; either way it is echoed on the response), and logged when
-// a structured logger is configured.
+// generated; either way it is echoed on the response), traced (an
+// inbound W3C traceparent header is continued, a malformed or absent
+// one falls back to fresh identifiers; the trace id is echoed as
+// X-Trace-Id), and logged when a structured logger is configured. The
+// finished trace lands in the flight recorder and, with Config.TraceDir
+// set, on disk as a Chrome trace-event file.
 func (s *Server) instrument(h http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
@@ -82,15 +93,36 @@ func (s *Server) instrument(h http.Handler) http.Handler {
 			reqID = newRequestID()
 		}
 		w.Header().Set("X-Request-Id", reqID)
+		var tr *obs.Trace
+		if tid, parent, ok := obs.ParseTraceparent(r.Header.Get("traceparent")); ok {
+			tr = obs.ContinueTrace("http "+r.URL.Path, tid, parent)
+		} else {
+			tr = obs.NewTrace("http " + r.URL.Path)
+		}
+		traceID := tr.ID().String()
+		w.Header().Set("X-Trace-Id", traceID)
+		r = r.WithContext(withTrace(r.Context(), &requestTrace{tr: tr, reqID: reqID}))
 		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
 		r.Body = http.MaxBytesReader(sw, r.Body, maxBodyBytes)
 		h.ServeHTTP(sw, r)
 		elapsed := time.Since(start)
+		rec := tr.Finish(
+			obs.StringAttr("request_id", reqID),
+			obs.StringAttr("method", r.Method),
+			obs.StringAttr("path", r.URL.Path),
+			obs.IntAttr("status", int64(sw.status)))
+		s.recorder.Add(rec)
+		if s.cfg.TraceDir != "" {
+			if err := saveTrace(s.cfg.TraceDir, rec); err != nil {
+				s.logf("trace %s: write to %s failed: %v", traceID, s.cfg.TraceDir, err)
+			}
+		}
 		endpoint := s.metrics.endpointLabel(r.URL.Path)
-		s.metrics.observe(endpoint, sw.status, elapsed)
+		s.metrics.observe(endpoint, sw.status, elapsed, traceID)
 		if lg := s.cfg.Logger; lg != nil {
 			lg.Info("request",
 				"request_id", reqID,
+				"trace_id", traceID,
 				"method", r.Method,
 				"path", r.URL.Path,
 				"endpoint", endpoint,
@@ -98,8 +130,12 @@ func (s *Server) instrument(h http.Handler) http.Handler {
 				"duration_ms", float64(elapsed.Nanoseconds())/1e6,
 				"remote", r.RemoteAddr)
 			if s.cfg.SlowRequest > 0 && elapsed >= s.cfg.SlowRequest {
+				// The trace id doubles as the exemplar: it points at the
+				// flight-recorder trace that explains where this outlier's
+				// time went.
 				lg.Warn("slow request",
 					"request_id", reqID,
+					"trace_id", traceID,
 					"method", r.Method,
 					"path", r.URL.Path,
 					"status", sw.status,
@@ -281,7 +317,8 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	}
 	out := make([]map[string]any, 0, len(names))
 	for _, name := range names {
-		st := s.svcs[name].current()
+		svc := s.svcs[name]
+		st := svc.current()
 		if st == nil {
 			out = append(out, map[string]any{"name": name, "materialized": false})
 			continue
@@ -304,6 +341,10 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 				Probes: cs.Probes, Seconds: float64(cs.Nanos) / 1e9,
 			}
 		}
+		// operators carries the streaming executor's cumulative
+		// per-operator counters per rule (zero when the program runs on
+		// the tuple interpreter, which is uninstrumented).
+		prof := svc.prog.Profile()
 		out = append(out, map[string]any{
 			"name":       name,
 			"version":    st.version,
@@ -311,6 +352,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			"stats":      toStatsJSON(stats),
 			"rules":      rules,
 			"components": comps,
+			"operators":  prof.Rules,
 		})
 	}
 	writeJSONCtx(ctx, w, http.StatusOK, map[string]any{"programs": out})
@@ -561,6 +603,18 @@ func (s *Server) handleAssert(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	cr := &commitReq{facts: facts, done: make(chan commitResult, 1)}
+	if rt := traceFrom(r.Context()); rt != nil {
+		// Hand the request's trace to the committer before enqueueing
+		// (the committer may pick the batch up immediately). The
+		// admission span covers everything up to the enqueue attempt:
+		// decode, validation, and the admission decision itself.
+		cr.reqID = rt.reqID
+		cr.tr = rt.tr
+		cr.root = rt.tr.Root()
+		cr.enqueued = time.Now()
+		rt.tr.RecordSpan("admission", cr.root, rt.tr.RootStart(), cr.enqueued,
+			obs.IntAttr("facts", int64(len(facts))))
+	}
 	if err := svc.enqueue(cr); err != nil {
 		if err == errDraining {
 			s.metrics.shed.With("/v1/assert", "draining").Inc()
@@ -665,5 +719,64 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 		resp["tree"] = ""
 	}
 	writeJSONCtx(ctx, w, http.StatusOK, resp)
+}
+
+// handleDebugTraces dumps the flight recorder — the most recent request
+// traces — as Chrome trace-event JSON, loadable directly in
+// about:tracing or ui.perfetto.dev. X-Traces-Retained/X-Traces-Total
+// report how much history the ring has dropped.
+func (s *Server) handleDebugTraces(w http.ResponseWriter, r *http.Request) {
+	recs := s.recorder.Snapshot()
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("X-Traces-Retained", strconv.Itoa(len(recs)))
+	w.Header().Set("X-Traces-Total", strconv.FormatUint(s.recorder.Total(), 10))
+	w.WriteHeader(http.StatusOK)
+	_ = obs.WriteChromeTrace(w, recs)
+}
+
+// handleExplainPlan serves the compiled operator tree of a program's
+// rules — EXPLAIN — and, with ?analyze=1, annotates it with the
+// measured cumulative counters of the streaming executor plus per-rule
+// timings from the stats ledger — EXPLAIN ANALYZE. JSON by default (the
+// machine-readable planner-input form); ?format=text renders the human
+// tree.
+func (s *Server) handleExplainPlan(w http.ResponseWriter, r *http.Request) {
+	ctx, cancel := s.requestContext(r)
+	defer cancel()
+	svc, err := s.lookup(r.URL.Query().Get("name"))
+	if err != nil {
+		writeErr(w, errNotFound(err.Error()))
+		return
+	}
+	st := svc.current()
+	if st == nil {
+		writeErr(w, errMaterializing())
+		return
+	}
+	prof := svc.prog.Profile()
+	analyze := r.URL.Query().Get("analyze") == "1"
+	if analyze {
+		prof.Annotate(st.model.Stats())
+	} else {
+		// Plain EXPLAIN: structure only, no measurements.
+		for i := range prof.Rules {
+			for j := range prof.Rules[i].Ops {
+				op := &prof.Rules[i].Ops[j]
+				op.In, op.Out, op.Probes, op.Build, op.Delta, op.Groups = 0, 0, 0, 0, 0, 0
+			}
+		}
+	}
+	if r.URL.Query().Get("format") == "text" {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		w.WriteHeader(http.StatusOK)
+		prof.Render(w)
+		return
+	}
+	writeJSONCtx(ctx, w, http.StatusOK, map[string]any{
+		"program": svc.name,
+		"version": st.version,
+		"analyze": analyze,
+		"profile": prof,
+	})
 }
 

@@ -21,7 +21,8 @@ var latencyBuckets = []float64{0.001, 0.005, 0.025, 0.1, 0.5, 2.5, 10}
 // set — unknown paths, bad methods — are recorded under "other" rather
 // than silently dropped.
 var metricEndpoints = []string{
-	"/healthz", "/metrics", "/readyz", "/v1/assert", "/v1/explain", "/v1/program", "/v1/query", "/v1/stats",
+	"/debug/traces", "/healthz", "/metrics", "/readyz",
+	"/v1/assert", "/v1/explain", "/v1/explain/plan", "/v1/program", "/v1/query", "/v1/stats",
 }
 
 // commitBatchBuckets are the histogram upper bounds for batches per
@@ -99,6 +100,12 @@ type endpointStats struct {
 	errors   atomic.Int64
 	sumNanos atomic.Int64
 	maxNanos atomic.Int64
+	// lastTrace is the most recent request's trace id — the exemplar
+	// linking the latency numbers to a flight-recorder trace. (The text
+	// exposition format stays exemplar-free: obs.Registry renders plain
+	// 0.0.4 text, so the exemplar lives in the JSON view and on
+	// slow-request log lines instead.)
+	lastTrace atomic.Value // string
 }
 
 func newMetrics() *metrics {
@@ -162,12 +169,17 @@ func (m *metrics) endpointLabel(path string) string {
 	return otherEndpoint
 }
 
-// observe records one request. endpoint must come from endpointLabel.
-func (m *metrics) observe(endpoint string, status int, elapsed time.Duration) {
+// observe records one request. endpoint must come from endpointLabel;
+// traceID (empty when untraced) becomes the endpoint's latency
+// exemplar.
+func (m *metrics) observe(endpoint string, status int, elapsed time.Duration, traceID string) {
 	m.httpRequests.With(endpoint, strconv.Itoa(status)).Inc()
 	m.httpDuration.With(endpoint).Observe(elapsed.Seconds())
 
 	es := m.endpoints[endpoint]
+	if traceID != "" {
+		es.lastTrace.Store(traceID)
+	}
 	es.count.Add(1)
 	if status >= http.StatusBadRequest {
 		es.errors.Add(1)
@@ -236,6 +248,9 @@ type endpointMetrics struct {
 	Errors    int64   `json:"errors"`
 	AvgMillis float64 `json:"avg_ms"`
 	MaxMillis float64 `json:"max_ms"`
+	// LastTraceID is the latency exemplar: the trace id of the most
+	// recent request, resolvable against /debug/traces.
+	LastTraceID string `json:"last_trace_id,omitempty"`
 }
 
 func (m *metrics) snapshot() map[string]endpointMetrics {
@@ -246,6 +261,9 @@ func (m *metrics) snapshot() map[string]endpointMetrics {
 			Count:     count,
 			Errors:    es.errors.Load(),
 			MaxMillis: float64(es.maxNanos.Load()) / 1e6,
+		}
+		if tid, ok := es.lastTrace.Load().(string); ok {
+			em.LastTraceID = tid
 		}
 		if count > 0 {
 			em.AvgMillis = float64(es.sumNanos.Load()) / float64(count) / 1e6

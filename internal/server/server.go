@@ -56,6 +56,7 @@ import (
 	"time"
 
 	"repro/datalog"
+	"repro/internal/obs"
 	"repro/internal/wal"
 )
 
@@ -94,6 +95,14 @@ type Config struct {
 	// WALSegmentBytes caps each log segment before rotation; 0 selects
 	// the wal package default (64 MiB).
 	WALSegmentBytes int64
+	// TraceBuffer sizes the in-process flight recorder: the number of
+	// most recent request traces retained for /debug/traces. 0 selects
+	// the default (64).
+	TraceBuffer int
+	// TraceDir, when non-empty, additionally writes every finished
+	// request trace as a Chrome trace-event JSON file (one per trace)
+	// under this directory, loadable in about:tracing / Perfetto.
+	TraceDir string
 }
 
 // ProgramSpec names one program to serve.
@@ -180,6 +189,9 @@ type Server struct {
 	names   []string // sorted service names
 	start   time.Time
 	metrics *metrics
+	// recorder retains the most recent finished request traces for
+	// /debug/traces and post-incident dumps.
+	recorder *obs.FlightRecorder
 	// draining flips once at shutdown: readiness goes 503 and new
 	// assert batches are shed while queued ones drain.
 	draining atomic.Bool
@@ -198,10 +210,11 @@ func New(specs []ProgramSpec, cfg Config) (*Server, error) {
 		return nil, fmt.Errorf("server: no programs to serve")
 	}
 	s := &Server{
-		cfg:     cfg,
-		svcs:    map[string]*service{},
-		start:   time.Now(),
-		metrics: newMetrics(),
+		cfg:      cfg,
+		svcs:     map[string]*service{},
+		start:    time.Now(),
+		metrics:  newMetrics(),
+		recorder: obs.NewFlightRecorder(cfg.TraceBuffer),
 	}
 	s.drainCtx, s.drainCancel = context.WithCancel(context.Background())
 	for _, spec := range specs {
@@ -216,6 +229,10 @@ func New(specs []ProgramSpec, cfg Config) (*Server, error) {
 		// are only ever emitted from the single-writer path (materialize
 		// and serialized asserts), and gauge updates are atomic.
 		spec.Options.Sink = datalog.MultiSink(s.metrics.programSink(spec.Name), spec.Options.Sink)
+		// Operator profiling is always on in the serve tier: it feeds
+		// /v1/explain/plan?analyze=1 and the per-commit operator spans,
+		// and costs one predictable branch per counted executor event.
+		spec.Options.Profile = true
 		p, err := datalog.Load(spec.Source, spec.Options)
 		if err != nil {
 			return nil, fmt.Errorf("server: program %s: %w", spec.Name, err)

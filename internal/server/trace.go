@@ -1,0 +1,63 @@
+package server
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/obs"
+)
+
+// Request tracing plumbing: every request gets a Trace (continuing the
+// W3C traceparent header when the caller sent one), carried through the
+// request context so the assert path can attribute commit phases —
+// admission, queue wait, solve, WAL append/fsync, publish — to the
+// requests that paid for them. Finished traces land in the server's
+// flight recorder (dumped at /debug/traces) and, when Config.TraceDir
+// is set, as one Chrome trace-event JSON file per trace.
+
+// traceCtxKey carries the per-request trace state.
+type traceCtxKey struct{}
+
+// requestTrace is the per-request trace state handlers read from the
+// context.
+type requestTrace struct {
+	tr    *obs.Trace
+	reqID string
+}
+
+func withTrace(ctx context.Context, rt *requestTrace) context.Context {
+	return context.WithValue(ctx, traceCtxKey{}, rt)
+}
+
+// traceFrom returns the request's trace state, or nil outside the
+// instrumented handler chain (direct handler tests).
+func traceFrom(ctx context.Context) *requestTrace {
+	rt, _ := ctx.Value(traceCtxKey{}).(*requestTrace)
+	return rt
+}
+
+// saveTrace writes one finished trace as a Chrome trace-event file
+// under dir, named by its trace ID so concurrent writers never collide.
+func saveTrace(dir string, rec obs.TraceRecord) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	path := filepath.Join(dir, fmt.Sprintf("trace-%s.json", rec.TraceID))
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if err := obs.WriteChromeTrace(f, []obs.TraceRecord{rec}); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return os.Rename(tmp, path)
+}

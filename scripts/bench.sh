@@ -37,13 +37,25 @@ GMP=${GOMAXPROCS:-$NCPU}
 # fsyncs (see the wal_fsync field of loadgen reports).
 WAL_FSYNC=${BENCH_WAL_FSYNC:-off}
 
+# Capture one EXPLAIN ANALYZE profile of the shortest-path example on
+# the streaming executor: the machine-readable operator counters ride
+# along under the "profiles" key, so cardinality drift (a regressing
+# join suddenly probing more rows) is visible in the same trail as the
+# timing drift. Best-effort: a failure leaves the key empty rather than
+# sinking the whole run.
+PROF=$(mktemp)
+trap 'rm -f "$RAW" "$PROF"' EXIT INT TERM
+echo "bench: profiling one ShortestPath solve (mdl -profile-json)"
+( cd "$ROOT" && go run ./cmd/mdl -executor=stream -profile-json "$PROF" \
+    examples/programs/shortestpath.mdl >/dev/null 2>&1 ) || : >"$PROF"
+
 # Parse `BenchmarkName-N  iters  ns/op  B/op  allocs/op` lines into JSON.
 # The engine_vs_baseline section pairs each engine benchmark with its
 # direct-algorithm baseline (Dijkstra for the shortest-path family, the
 # closed-form scan for party) and records the ns/op ratio per executor,
 # so the gap the streaming executor is chipping away at is tracked
 # across PRs in the same file as the raw numbers.
-awk -v host="$(uname -sm)" -v go="$(go env GOVERSION)" -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" -v gmp="$GMP" -v walfsync="$WAL_FSYNC" '
+awk -v host="$(uname -sm)" -v go="$(go env GOVERSION)" -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" -v gmp="$GMP" -v walfsync="$WAL_FSYNC" -v proffile="$PROF" '
 BEGIN { printf "{\n  \"date\": \"%s\",\n  \"go\": \"%s\",\n  \"host\": \"%s\",\n  \"gomaxprocs\": %s,\n  \"default_parallelism\": %s,\n  \"wal_fsync\": \"%s\",\n  \"benchmarks\": [", date, go, host, gmp, gmp, walfsync; n = 0 }
 /^Benchmark/ && /ns\/op/ {
     name = $1; sub(/-[0-9]+$/, "", name)
@@ -88,7 +100,16 @@ END {
         printf "\n    {\"family\": \"%s\", \"executor\": \"%s\", \"engine\": \"%s\", \"baseline\": \"%s\", \"engine_over_baseline_ns\": %.2f", fam, exe, name, base, nsb[name] / nsb[base]
         printf "}"
     }
-    printf "\n  ]\n}\n"
+    printf "\n  ]"
+    # Embed the captured operator profile (already JSON) verbatim.
+    prof = ""
+    while ((getline line < proffile) > 0) prof = prof line "\n"
+    close(proffile)
+    if (prof != "") {
+        sub(/\n$/, "", prof)
+        printf ",\n  \"profiles\": {\n    \"shortestpath_stream\": %s\n  }", prof
+    }
+    printf "\n}\n"
 }
 ' "$RAW" >"$OUT"
 
