@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: all build vet test race fuzz crash-test parallel-test chaos-test wal-crash-test executor-test serve-smoke loadgen loadgen-smoke bench bench-smoke bench-smoke-parallel bench-regression ci clean
+.PHONY: all build vet test race fuzz crash-test parallel-test chaos-test wal-crash-test executor-test planner-test serve-smoke loadgen loadgen-smoke bench bench-smoke bench-smoke-parallel bench-regression ci clean
 
 all: build
 
@@ -65,6 +65,14 @@ executor-test:
 	$(GO) test -race ./internal/exec
 	$(GO) test -race -run 'Executor|DoesNotAllocate' ./datalog ./internal/core ./cmd/mdl
 
+# Cost-based planner suite under the race detector: the estimator
+# property tests, and the syntactic-vs-cost differential over every
+# example program (byte-identical models, traces, stats, checkpoints,
+# both executors, at parallelism 1/2/N). See docs/PLANNER.md.
+planner-test:
+	$(GO) test -race ./internal/planner
+	$(GO) test -race -run 'Planner|Plan' ./datalog ./cmd/mdl
+
 # End-to-end smoke test of the mdl serve subsystem over real HTTP:
 # query, assert, explain, metrics, graceful shutdown, warm restart.
 serve-smoke:
@@ -101,7 +109,7 @@ bench-smoke-parallel:
 bench-regression:
 	sh scripts/bench_regression.sh
 
-ci: vet build race fuzz crash-test parallel-test chaos-test wal-crash-test executor-test serve-smoke loadgen-smoke bench-smoke bench-smoke-parallel bench-regression
+ci: vet build race fuzz crash-test parallel-test chaos-test wal-crash-test executor-test planner-test serve-smoke loadgen-smoke bench-smoke bench-smoke-parallel bench-regression
 
 clean:
 	$(GO) clean ./...

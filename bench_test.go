@@ -108,20 +108,26 @@ func BenchmarkExample21Averages(b *testing.B) {
 
 // BenchmarkShortestPath (E3): the engine on the three graph topologies.
 // The unsuffixed runs keep their historical names (tuple executor); the
-// /stream runs measure the streaming relational-algebra executor on the
-// same instances.
+// /stream runs measure the streaming relational-algebra executor and
+// the /cost runs the cost-based planner on top of it, all on the same
+// instances.
 func BenchmarkShortestPath(b *testing.B) {
+	type variant struct {
+		suffix string
+		lim    core.Limits
+	}
+	variants := []variant{
+		{"", core.Limits{Executor: core.ExecutorTuple}},
+		{"/stream", core.Limits{Executor: core.ExecutorStream}},
+		{"/cost", core.Limits{Executor: core.ExecutorStream, Plan: core.PlanCost}},
+	}
 	for _, kind := range []gen.GraphKind{gen.LayeredDAG, gen.CycleGraph, gen.RandomGraph} {
 		for _, n := range []int{32, 64, 128} {
 			g := gen.Graph(kind, n, 4*n, 9, int64(n))
 			src := programs.ShortestPath + gen.GraphFacts(g)
-			for _, exe := range []core.Executor{core.ExecutorTuple, core.ExecutorStream} {
-				en := mustEngine(b, src, core.Options{Limits: core.Limits{Executor: exe}})
-				name := fmt.Sprintf("%s/n=%d", kindName(kind), n)
-				if exe == core.ExecutorStream {
-					name += "/stream"
-				}
-				b.Run(name, func(b *testing.B) {
+			for _, v := range variants {
+				en := mustEngine(b, src, core.Options{Limits: v.lim})
+				b.Run(fmt.Sprintf("%s/n=%d%s", kindName(kind), n, v.suffix), func(b *testing.B) {
 					b.ReportAllocs()
 					for i := 0; i < b.N; i++ {
 						solveB(b, en)
@@ -129,6 +135,24 @@ func BenchmarkShortestPath(b *testing.B) {
 				})
 			}
 		}
+	}
+}
+
+// BenchmarkSolvePlan: the planner ablation on one fixed shortest-path
+// instance — identical engine, identical executor, only Limits.Plan
+// differs. The pair is what scripts/bench.sh records as the planner
+// ratio and scripts/bench_regression.sh gates on.
+func BenchmarkSolvePlan(b *testing.B) {
+	g := gen.Graph(gen.CycleGraph, 128, 512, 9, 128)
+	src := programs.ShortestPath + gen.GraphFacts(g)
+	for _, pl := range []core.Plan{core.PlanSyntactic, core.PlanCost} {
+		en := mustEngine(b, src, core.Options{Limits: core.Limits{Executor: core.ExecutorStream, Plan: pl}})
+		b.Run(pl.String(), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				solveB(b, en)
+			}
+		})
 	}
 }
 
@@ -192,6 +216,13 @@ func BenchmarkParty(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				solveB(b, enStream)
+			}
+		})
+		enCost := mustEngine(b, src, core.Options{Limits: core.Limits{Executor: core.ExecutorStream, Plan: core.PlanCost}})
+		b.Run(fmt.Sprintf("engine-cost/n=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				solveB(b, enCost)
 			}
 		})
 		b.Run(fmt.Sprintf("direct/n=%d", n), func(b *testing.B) {

@@ -26,6 +26,7 @@ func TestConflictingFlagCombinations(t *testing.T) {
 		{"check with pprof", []string{"-check", "-pprof-addr", "127.0.0.1:0", f}},
 		{"check with parallel", []string{"-check", "-parallel", "2", f}},
 		{"check with executor", []string{"-check", "-executor", "stream", f}},
+		{"check with plan", []string{"-check", "-plan", "cost", f}},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -215,6 +216,71 @@ func TestExecutorFlag(t *testing.T) {
 	}
 }
 
+// TestPlanFlag: the planner must be one of the two spellings, and
+// either accepted value prints the same model and the same -stats
+// totals (the planner-equivalence contract, observed end to end through
+// the CLI).
+func TestPlanFlag(t *testing.T) {
+	f := writeProgram(t, "sp.mdl", shortestPath)
+	_, errOut, code := runMdl(t, "-plan", "genetic", f)
+	if code != exitUsage {
+		t.Fatalf("-plan genetic: exit %d, want %d (usage)", code, exitUsage)
+	}
+	if !strings.Contains(errOut, `-plan must be "syntactic" or "cost"`) {
+		t.Fatalf("stderr must explain the bad value:\n%s", errOut)
+	}
+	synOut, synStats, code := runMdl(t, "-plan", "syntactic", "-stats", f)
+	if code != exitOK {
+		t.Fatalf("-plan syntactic: exit %d\n%s", code, synStats)
+	}
+	costOut, costStats, code := runMdl(t, "-plan", "cost", "-stats", f)
+	if code != exitOK {
+		t.Fatalf("-plan cost: exit %d\n%s", code, costStats)
+	}
+	if costOut != synOut {
+		t.Fatalf("-plan cost output differs from syntactic:\n%s\nvs\n%s", costOut, synOut)
+	}
+	statLine := func(s string) string {
+		for _, line := range strings.Split(s, "\n") {
+			if strings.HasPrefix(line, "components=") {
+				return line
+			}
+		}
+		t.Fatalf("no stats totals line in:\n%s", s)
+		return ""
+	}
+	if got, want := statLine(costStats), statLine(synStats); got != want {
+		t.Fatalf("-plan cost stats totals differ:\n%s\nvs\n%s", got, want)
+	}
+}
+
+// TestProfileExecutorConflict: -profile needs the instrumented streaming
+// executor. The implied override is explicit in the help text, and an
+// explicit -executor=tuple contradicts it — a usage error, not a silent
+// override.
+func TestProfileExecutorConflict(t *testing.T) {
+	f := writeProgram(t, "sp.mdl", shortestPath)
+	_, errOut, code := runMdl(t, "-executor", "tuple", "-profile", f)
+	if code != exitUsage {
+		t.Fatalf("exit %d, want %d (usage)", code, exitUsage)
+	}
+	if !strings.Contains(errOut, "-profile requires the streaming executor") {
+		t.Fatalf("stderr must explain the conflict:\n%s", errOut)
+	}
+	// An explicit -executor=stream agrees with the implication: accepted.
+	if _, errOut, code := runMdl(t, "-executor", "stream", "-profile", f); code != exitOK {
+		t.Fatalf("-executor stream -profile: exit %d\n%s", code, errOut)
+	}
+	// Bare -profile selects the streaming executor and reports it.
+	_, errOut, code = runMdl(t, "-profile", f)
+	if code != exitOK {
+		t.Fatalf("-profile: exit %d\n%s", code, errOut)
+	}
+	if !strings.Contains(errOut, "EXPLAIN ANALYZE (executor=stream") {
+		t.Fatalf("-profile must run the streaming executor:\n%s", errOut)
+	}
+}
+
 // TestServeFlagValidation covers the serve-only observability flags.
 func TestServeFlagValidation(t *testing.T) {
 	f := writeProgram(t, "sp.mdl", shortestPath)
@@ -228,6 +294,7 @@ func TestServeFlagValidation(t *testing.T) {
 		{"zero parallel", []string{"-parallel", "0", f}, "-parallel must be ≥ 1"},
 		{"negative parallel", []string{"-parallel", "-3", f}, "-parallel must be ≥ 1"},
 		{"bad executor", []string{"-executor", "vectorized", f}, `-executor must be "stream" or "tuple"`},
+		{"bad plan", []string{"-plan", "genetic", f}, `-plan must be "syntactic" or "cost"`},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

@@ -17,6 +17,10 @@
 //	-executor x    rule-body execution backend: "stream" (lazy operator
 //	               pipelines, low allocation) or "tuple" (the reference
 //	               interpreter); output is identical either way
+//	-plan x        rule planner: "syntactic" (written left-to-right body
+//	               order) or "cost" (statistics-driven join ordering,
+//	               presizing, subplan sharing and adaptive re-planning;
+//	               see docs/PLANNER.md); output is identical either way
 //	-timeout d     wall-clock budget for evaluation, e.g. 1s (0 = none)
 //	-query pred    print only the tuples of one predicate
 //	-stats         print evaluation statistics to stderr, including
@@ -111,6 +115,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	maxFacts := fs.Int64("max-facts", 0, "derivation budget per solve (0 = unlimited)")
 	parallel := fs.Int("parallel", 0, "evaluation workers (default one per CPU; 1 = sequential)")
 	executor := fs.String("executor", "", `execution backend: "stream" or "tuple"`)
+	plan := fs.String("plan", "", `rule planner: "syntactic" or "cost"`)
 	timeout := fs.Duration("timeout", 0, "wall-clock budget for evaluation, e.g. 1s (0 = none)")
 	query := fs.String("query", "", "print only this predicate")
 	stats := fs.Bool("stats", false, "print evaluation statistics")
@@ -143,7 +148,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	if *ckptEvery < 0 {
 		return usage("-checkpoint-every must be ≥ 0")
 	}
-	timeoutSet, parallelSet, executorSet := false, false, false
+	timeoutSet, parallelSet, executorSet, planSet := false, false, false, false
 	fs.Visit(func(f *flag.Flag) {
 		switch f.Name {
 		case "timeout":
@@ -152,11 +157,17 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 			parallelSet = true
 		case "executor":
 			executorSet = true
+		case "plan":
+			planSet = true
 		}
 	})
 	exe, err := datalog.ParseExecutor(*executor)
 	if err != nil {
 		return usage(`-executor must be "stream" or "tuple"`)
+	}
+	pln, err := datalog.ParsePlan(*plan)
+	if err != nil {
+		return usage(`-plan must be "syntactic" or "cost"`)
 	}
 	if *profileJSON != "" {
 		*profile = true
@@ -202,6 +213,9 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	if *check && executorSet {
 		return usage("-check does not evaluate; it cannot be combined with -executor")
 	}
+	if *check && planSet {
+		return usage("-check does not evaluate; it cannot be combined with -plan")
+	}
 	if *check && *profile {
 		return usage("-check does not evaluate; it cannot be combined with -profile")
 	}
@@ -228,6 +242,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		MaxDuration: *timeout,
 		Parallelism: *parallel,
 		Executor:    exe,
+		Plan:        pln,
 		SkipChecks:  *unchecked || *check,
 		WFSFallback: *wfsFallback,
 		Trace:       *explain != "",

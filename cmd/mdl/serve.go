@@ -26,6 +26,8 @@
 //	-executor x    rule-body execution backend: "stream" (lazy operator
 //	               pipelines, low allocation) or "tuple" (the reference
 //	               interpreter); output is identical either way
+//	-plan x        rule planner: "syntactic" or "cost" (statistics-driven;
+//	               see docs/PLANNER.md); output is identical either way
 //	-timeout d     wall-clock budget per solve and per assert batch
 //	-trace         record provenance for /v1/explain (default true)
 //	-checkpoint f  warm-start from f when it exists; flush a final
@@ -100,6 +102,7 @@ func runServe(ctx context.Context, args []string, stdout, stderr io.Writer) int 
 	maxFacts := fs.Int64("max-facts", 0, "derivation budget per solve and per assert batch (0 = unlimited)")
 	parallel := fs.Int("parallel", 0, "evaluation workers per solve (default one per CPU; 1 = sequential)")
 	executor := fs.String("executor", "", `execution backend: "stream" or "tuple"`)
+	plan := fs.String("plan", "", `rule planner: "syntactic" or "cost"`)
 	timeout := fs.Duration("timeout", 0, "wall-clock budget per solve and per assert batch (0 = none)")
 	trace := fs.Bool("trace", true, "record provenance for /v1/explain")
 	ckptPath := fs.String("checkpoint", "", "warm-start from this snapshot when present; flush to it on shutdown")
@@ -147,6 +150,10 @@ func runServe(ctx context.Context, args []string, stdout, stderr io.Writer) int 
 	if err != nil {
 		return usage(`-executor must be "stream" or "tuple"`)
 	}
+	pln, err := datalog.ParsePlan(*plan)
+	if err != nil {
+		return usage(`-plan must be "syntactic" or "cost"`)
+	}
 	if fs.NArg() == 0 {
 		fmt.Fprintln(stderr, "usage: mdl serve [flags] program.mdl ...")
 		fs.PrintDefaults()
@@ -191,6 +198,7 @@ func runServe(ctx context.Context, args []string, stdout, stderr io.Writer) int 
 		MaxDuration: *timeout,
 		Parallelism: *parallel,
 		Executor:    exe,
+		Plan:        pln,
 		Trace:       *trace,
 	}
 	specs, code := serveSpecs(fs.Args(), *join, *name, opts, stderr)

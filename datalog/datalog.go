@@ -109,6 +109,37 @@ func ParseExecutor(s string) (Executor, error) {
 	return ExecutorDefault, fmt.Errorf("datalog: unknown executor %q (want \"stream\" or \"tuple\")", s)
 }
 
+// Plan selects the rule planner.
+type Plan = core.Plan
+
+// The planners: PlanSyntactic (currently the default) evaluates each
+// rule body in its written left-to-right subgoal order; PlanCost orders
+// subgoals by estimated selectivity read from the live relation indexes,
+// pre-sizes aggregate group tables, shares common subplans across rules,
+// and re-plans between rounds when observed growth diverges from the
+// estimates. Both planners produce byte-identical models, traces and
+// stats totals (see docs/PLANNER.md for the cost model and the
+// equivalence contract).
+const (
+	PlanDefault   = core.PlanDefault
+	PlanSyntactic = core.PlanSyntactic
+	PlanCost      = core.PlanCost
+)
+
+// ParsePlan maps the command-line spellings "cost" and "syntactic" (and
+// "" for the default) to a Plan.
+func ParsePlan(s string) (Plan, error) {
+	switch s {
+	case "":
+		return PlanDefault, nil
+	case "cost":
+		return PlanCost, nil
+	case "syntactic":
+		return PlanSyntactic, nil
+	}
+	return PlanDefault, fmt.Errorf("datalog: unknown plan %q (want \"cost\" or \"syntactic\")", s)
+}
+
 // Options configures evaluation; the zero value is a good default.
 type Options struct {
 	Strategy Strategy
@@ -159,6 +190,11 @@ type Options struct {
 	// tuple-at-a-time interpreter). Both backends produce byte-identical
 	// results.
 	Executor Executor
+	// Plan selects the rule planner (syntactic left-to-right order by
+	// default; PlanCost for statistics-driven join ordering, presizing,
+	// subplan sharing and adaptive re-planning). Both planners produce
+	// byte-identical results; see docs/PLANNER.md.
+	Plan Plan
 	// Sink, when non-nil, receives the engine's typed event stream —
 	// solve/component/round boundaries, rule passes, checkpoint
 	// flushes and resource warnings. Events are emitted synchronously
@@ -203,6 +239,7 @@ func Load(src string, opts Options) (*Program, error) {
 		DivergenceStreak: opts.DivergenceStreak,
 		Parallelism:      opts.Parallelism,
 		Executor:         opts.Executor,
+		Plan:             opts.Plan,
 	}
 	en, err := core.New(prog, core.Options{
 		Strategy:    opts.Strategy,
@@ -378,6 +415,14 @@ func WithParallelism(n int) SolveOption {
 // stats; ExecutorStream avoids per-tuple allocation.
 func WithExecutor(e Executor) SolveOption {
 	return func(c *solveConfig) { c.lim.Executor = e }
+}
+
+// WithPlan overrides the rule planner for this solve. Both planners
+// produce byte-identical models, traces and stats totals; PlanCost
+// reorders joins, pre-sizes hash tables and shares common subplans
+// using live relation statistics (docs/PLANNER.md).
+func WithPlan(pl Plan) SolveOption {
+	return func(c *solveConfig) { c.lim.Plan = pl }
 }
 
 // Solve evaluates the program over the given extensional facts and

@@ -88,7 +88,7 @@ func TestProfileCounters(t *testing.T) {
 	var b strings.Builder
 	prof.Render(&b)
 	text := b.String()
-	for _, want := range []string{"EXPLAIN ANALYZE (executor=stream)", "scan", "aggregate", "groups="} {
+	for _, want := range []string{"EXPLAIN ANALYZE (executor=stream plan=syntactic)", "scan", "aggregate", "groups="} {
 		if !strings.Contains(text, want) {
 			t.Errorf("Render output missing %q:\n%s", want, text)
 		}

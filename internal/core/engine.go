@@ -108,8 +108,11 @@ type Engine struct {
 	// exe is the executor resolved for the current solve (set at the top
 	// of fixpoint / fixpointParallel / SolveMoreFrom, before any pass
 	// constructs a runner). Engines are not safe for concurrent solves,
-	// so a per-solve field is sufficient.
-	exe Executor
+	// so a per-solve field is sufficient. plan is the planner resolved
+	// the same way: PlanCost makes each semi-naive component install
+	// cost-based physicals (plancost.go) before its fixpoint starts.
+	exe  Executor
+	plan Plan
 	// prof is the per-rule per-step operator-counter table, allocated at
 	// New when Options.Profile is set (nil otherwise). Counters are
 	// atomic because speculative parallel passes fold concurrently; they
@@ -280,6 +283,8 @@ func (en *Engine) Resume(ctx context.Context, prev *relation.DB, lim Limits, bas
 // starting the stats from base.
 func (en *Engine) fixpoint(ctx context.Context, db *relation.DB, lim Limits, base Stats) (_ *relation.DB, _ Stats, err error) {
 	en.exe = resolveExecutor(lim)
+	en.plan = resolvePlan(lim)
+	en.resetPlans()
 	if par := effectiveParallelism(lim); par > 1 {
 		return en.fixpointParallel(ctx, db, lim, base, par)
 	}
@@ -644,6 +649,11 @@ func (en *Engine) solveSemiNaive(g *guard, db *relation.DB, ci int, c *deps.Comp
 // and derivations recorded by lower components). record, when non-nil,
 // mirrors every derived change outward (for cross-component seeding).
 func (en *Engine) semiNaiveLoop(g *guard, db *relation.DB, ci int, ps []*plan, stats *Stats, init *deltaSet, record func(ast.PredKey, relation.Row)) error {
+	// Install cost-based physical plans for this component when the
+	// solve runs with PlanCost (nil — and inert — otherwise). CSE is
+	// disabled on incremental continuations: their Δ seeds can drive
+	// restricted passes over EDB scans a shared buffer would fold away.
+	cp := en.planComponent(db, ps, init == nil)
 	delta := newDeltaSet()
 	// insert derives through per-closure scratch: the head projection
 	// lands in the plan's hbuf and the tuple key is built once into kbuf,
@@ -704,6 +714,7 @@ func (en *Engine) semiNaiveLoop(g *guard, db *relation.DB, ci int, ps []*plan, s
 		if err := g.roundBoundary(db); err != nil {
 			return err
 		}
+		cp.maybeReplan()
 	} else {
 		delta = init
 	}
@@ -736,9 +747,10 @@ func (en *Engine) semiNaiveLoop(g *guard, db *relation.DB, ci int, ps []*plan, s
 			// untouched by the Δ set costs nothing (not even a clock
 			// read).
 			runAgg := aggPredChanged(p, prev)
+			ph := p.ph()
 			hasScan := false
 			for _, k := range changedPreds {
-				if len(p.scanSteps[k]) > 0 {
+				if len(ph.scanSteps[k]) > 0 {
 					hasScan = true
 					break
 				}
@@ -756,7 +768,7 @@ func (en *Engine) semiNaiveLoop(g *guard, db *relation.DB, ci int, ps []*plan, s
 				// grouping variable can be recovered from the changed
 				// rows, otherwise a full re-run (which then also covers
 				// the scan deltas below).
-				groups, restricted := changedGroups(p, prev)
+				groups, restricted := changedGroups(ph.steps, prev)
 				if en.opts.DisableGroupDelta {
 					groups, restricted = nil, false
 				}
@@ -773,7 +785,7 @@ func (en *Engine) semiNaiveLoop(g *guard, db *relation.DB, ci int, ps []*plan, s
 			scans:
 				for _, k := range changedPreds {
 					rows := prev.rows[k]
-					for _, si := range p.scanSteps[k] {
+					for _, si := range ph.scanSteps[k] {
 						ev := newRunner(en.exe, db, si, rows, nil, en.opts.Trace, g.check, en.prof)
 						perr = ev.run(p, func(e *env) error { return insert(p, e) })
 						stats.Firings += ev.fir()
@@ -797,6 +809,7 @@ func (en *Engine) semiNaiveLoop(g *guard, db *relation.DB, ci int, ps []*plan, s
 		if err := g.roundBoundary(db); err != nil {
 			return err
 		}
+		cp.maybeReplan()
 		if prev != init {
 			prev.reset()
 			spare = prev
@@ -805,11 +818,13 @@ func (en *Engine) semiNaiveLoop(g *guard, db *relation.DB, ci int, ps []*plan, s
 	return nil
 }
 
-// changedGroups computes, per aggregate step of the plan, the groups
-// whose multisets may have changed given the Δ set. restricted is false
-// when some changed conjunct cannot be projected onto the full group key
-// (the caller then treats the run as unrestricted).
-func changedGroups(p *plan, d *deltaSet) (map[int]map[string]exec.GroupRef, bool) {
+// changedGroups computes, per aggregate step of the given (physical)
+// step arrangement, the groups whose multisets may have changed given
+// the Δ set. restricted is false when some changed conjunct cannot be
+// projected onto the full group key (the caller then treats the run as
+// unrestricted). The returned map is keyed by step position in the
+// arrangement passed in, matching the runner's AggGroups keying.
+func changedGroups(steps []step, d *deltaSet) (map[int]map[string]exec.GroupRef, bool) {
 	out := map[int]map[string]exec.GroupRef{}
 	// Group keys are built into a per-call scratch buffer and the group
 	// values are references into the Δ rows' relation-owned argument
@@ -817,7 +832,7 @@ func changedGroups(p *plan, d *deltaSet) (map[int]map[string]exec.GroupRef, bool
 	// interned map key for new entries. Anything else here runs once per
 	// Δ row per round and shows up directly in allocs/op.
 	var kbuf []byte
-	for si, s := range p.steps {
+	for si, s := range steps {
 		ag, ok := s.(*aggStep)
 		if !ok {
 			continue

@@ -57,14 +57,16 @@ type evaluator struct {
 }
 
 // run enumerates every satisfying assignment of the plan body and calls
-// emit with the completed environment.
+// emit with the completed environment. Evaluation walks the currently
+// installed physical arrangement (plan.ph()); the cost planner also
+// drives step directly over prefixes when materializing CSE buffers.
 func (ev *evaluator) run(p *plan, emit func(*env) error) error {
 	e := newEnv(p.nvars)
-	return ev.step(p, 0, e, emit)
+	return ev.step(p.ph().steps, 0, e, emit)
 }
 
-func (ev *evaluator) step(p *plan, i int, e *env, emit func(*env) error) error {
-	if i == len(p.steps) {
+func (ev *evaluator) step(steps []step, i int, e *env, emit func(*env) error) error {
+	if i == len(steps) {
 		ev.firings++
 		if ev.check != nil {
 			if err := ev.check(); err != nil {
@@ -73,14 +75,14 @@ func (ev *evaluator) step(p *plan, i int, e *env, emit func(*env) error) error {
 		}
 		return emit(e)
 	}
-	switch s := p.steps[i].(type) {
+	switch s := steps[i].(type) {
 	case *scanStep:
 		next := func(row relation.Row) error {
 			saved, ok := bindAtom(&s.atomSpec, row, e)
 			if !ok {
 				return nil
 			}
-			err := ev.step(p, i+1, e, emit)
+			err := ev.step(steps, i+1, e, emit)
 			unbind(e, saved)
 			return err
 		}
@@ -108,7 +110,7 @@ func (ev *evaluator) step(p *plan, i int, e *env, emit func(*env) error) error {
 		if !ok {
 			return nil
 		}
-		return ev.step(p, i+1, e, emit)
+		return ev.step(steps, i+1, e, emit)
 	case *builtinStep:
 		ok, saved, err := ev.builtin(s, e)
 		if err != nil {
@@ -117,13 +119,48 @@ func (ev *evaluator) step(p *plan, i int, e *env, emit func(*env) error) error {
 		if !ok {
 			return nil
 		}
-		err = ev.step(p, i+1, e, emit)
+		err = ev.step(steps, i+1, e, emit)
 		unbind(e, saved)
 		return err
 	case *aggStep:
-		return ev.aggregate(s, i, ev.aggGroups[i], e, func() error { return ev.step(p, i+1, e, emit) })
+		return ev.aggregate(s, i, ev.aggGroups[i], e, func() error { return ev.step(steps, i+1, e, emit) })
+	case *bufferStep:
+		return ev.buffer(steps, i, s, e, emit)
 	}
-	return fmt.Errorf("core: unknown step type %T", p.steps[i])
+	return fmt.Errorf("core: unknown step type %T", steps[i])
+}
+
+// buffer replays a materialized CSE prefix (plancost.go): each row
+// binds the buffer's variables like the folded scans would have,
+// counting one probe per row offered.
+func (ev *evaluator) buffer(steps []step, i int, b *bufferStep, e *env, emit func(*env) error) error {
+	for _, row := range b.rows {
+		ev.probes++
+		saved := b.sbuf[:0]
+		ok := true
+		for j, v := range b.vars {
+			if e.bound[v] {
+				if !val.Equal(e.vals[v], row[j]) {
+					ok = false
+					break
+				}
+				continue
+			}
+			e.vals[v] = row[j]
+			e.bound[v] = true
+			saved = append(saved, v)
+		}
+		if !ok {
+			unbind(e, saved)
+			continue
+		}
+		err := ev.step(steps, i+1, e, emit)
+		unbind(e, saved)
+		if err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // scan enumerates rows of the atom's relation matching the bound part of

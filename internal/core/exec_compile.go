@@ -20,14 +20,17 @@ import (
 // orders the tuple interpreter derives at runtime (agg.go) are computed
 // once here, for both the grouped and the point mode.
 
-// compileStream lowers one plan to a streaming pipeline.
-func compileStream(p *plan) *exec.Rule {
-	steps := make([]exec.Step, len(p.steps))
+// compileStream lowers one step arrangement of a plan to a streaming
+// pipeline: the syntactic order at compile time (steps == p.steps) and
+// any cost-planned physical the planner builds later. hints, when
+// non-nil, carries per-position γ group-map presizes (plancost.go).
+func compileStream(p *plan, planSteps []step, hints []int) *exec.Rule {
+	steps := make([]exec.Step, len(planSteps))
 	// bound simulates the binding pattern along the pipeline: every step
 	// binds its variables unconditionally on success and the step order
 	// is fixed, so the set is exact, not an approximation.
 	bound := make([]bool, p.nvars)
-	for i, s := range p.steps {
+	for i, s := range planSteps {
 		switch s := s.(type) {
 		case *scanStep:
 			steps[i] = exec.Step{Kind: exec.ScanKind, Atom: execAtom(&s.atomSpec)}
@@ -47,14 +50,23 @@ func compileStream(p *plan) *exec.Rule {
 				bound[s.assign] = true
 			}
 		case *aggStep:
-			steps[i] = exec.Step{Kind: exec.AggKind, Agg: compileAgg(s, bound)}
+			a := compileAgg(s, bound)
+			if hints != nil && hints[i] > 0 {
+				a.GroupsHint = hints[i]
+			}
+			steps[i] = exec.Step{Kind: exec.AggKind, Agg: a}
 			for _, v := range s.groupVars {
 				bound[v] = true
 			}
 			bound[s.result] = true
+		case *bufferStep:
+			steps[i] = exec.Step{Kind: exec.BufferKind, Buffer: &exec.BufferStep{Rows: s.rows, Vars: s.vars}}
+			for _, v := range s.vars {
+				bound[v] = true
+			}
 		}
 	}
-	return exec.NewRule(p.nvars, steps, streamHooks(p))
+	return exec.NewRule(p.nvars, steps, streamHooks(planSteps))
 }
 
 // compileAgg lowers a γ step, fixing the conjunction orders the tuple
@@ -127,15 +139,15 @@ type streamAux struct {
 }
 
 // streamHooks adapts the host-side pieces of pipeline evaluation —
-// builtin expressions and provenance capture — to the plan's step
-// structures, preserving the tuple interpreter's semantics and error
-// text exactly.
-func streamHooks(p *plan) exec.Hooks {
+// builtin expressions and provenance capture — to the given step
+// arrangement (hooks index by pipeline position, which is physical),
+// preserving the tuple interpreter's semantics and error text exactly.
+func streamHooks(planSteps []step) exec.Hooks {
 	return exec.Hooks{
 		Init: func(m *exec.Machine) {
 			aux := &streamAux{env: &env{vals: m.Vals, bound: m.Bound}}
-			aux.builtins = make([]func() (bool, bool, error), len(p.steps))
-			for i, s := range p.steps {
+			aux.builtins = make([]func() (bool, bool, error), len(planSteps))
+			for i, s := range planSteps {
 				if bs, ok := s.(*builtinStep); ok {
 					aux.builtins[i] = makeBuiltinEval(bs, aux.env)
 				}
@@ -147,7 +159,7 @@ func streamHooks(p *plan) exec.Hooks {
 		},
 		CollectSupports: func(m *exec.Machine, i int, dst any) any {
 			aux := m.Aux.(*streamAux)
-			s := p.steps[i].(*aggStep)
+			s := planSteps[i].(*aggStep)
 			sup, _ := dst.([]Support)
 			for ci := range s.conj {
 				sup = append(sup, supportOfAtom(&s.conj[ci], aux.env, false))
@@ -230,20 +242,26 @@ type streamRunner struct {
 }
 
 func (sr *streamRunner) run(p *plan, emit func(*env) error) error {
-	m := p.stream.Acquire(sr.cfg)
+	ph := p.ph()
+	m := ph.stream.Acquire(sr.cfg)
 	aux := m.Aux.(*streamAux)
 	err := m.Run(func(*exec.Machine) error { return emit(aux.env) })
 	sr.firings += m.Firings
 	sr.probes += m.Probes
 	if sr.prof != nil {
 		if pc := m.Profile(); pc != nil {
+			// The accumulators are keyed by canonical step position so
+			// counters stay attributed to the same operator across plan
+			// switches; buffer steps (canon < 0) have no canonical slot.
 			acc := sr.prof[p.idx]
 			for i := range pc {
-				acc[i].Fold(pc[i])
+				if c := ph.canon[i]; c >= 0 {
+					acc[c].Fold(pc[i])
+				}
 			}
 		}
 	}
-	p.stream.Release(m)
+	ph.stream.Release(m)
 	return err
 }
 

@@ -65,6 +65,8 @@ func (en *Engine) SolveMoreFrom(ctx context.Context, prev *relation.DB, added *r
 	en.ensureStats(&stats)
 	lim := en.opts.Limits
 	en.exe = resolveExecutor(lim)
+	en.plan = resolvePlan(lim)
+	en.resetPlans()
 	if lim.MaxDuration > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, lim.MaxDuration)

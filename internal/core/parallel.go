@@ -214,9 +214,10 @@ func (en *Engine) bufferDeltaPass(g *guard, p *plan, db *relation.DB, prev *delt
 // against each other on every example program.
 func (en *Engine) deltaPasses(p *plan, db *relation.DB, prev *deltaSet, changedPreds []ast.PredKey, check func() error, emit func(*env) error) (firings, probes int64, active bool, err error) {
 	runAgg := aggPredChanged(p, prev)
+	ph := p.ph()
 	hasScan := false
 	for _, k := range changedPreds {
-		if len(p.scanSteps[k]) > 0 {
+		if len(ph.scanSteps[k]) > 0 {
 			hasScan = true
 			break
 		}
@@ -226,7 +227,7 @@ func (en *Engine) deltaPasses(p *plan, db *relation.DB, prev *deltaSet, changedP
 	}
 	ranFull := false
 	if runAgg {
-		groups, restricted := changedGroups(p, prev)
+		groups, restricted := changedGroups(ph.steps, prev)
 		if en.opts.DisableGroupDelta {
 			groups, restricted = nil, false
 		}
@@ -240,7 +241,7 @@ func (en *Engine) deltaPasses(p *plan, db *relation.DB, prev *deltaSet, changedP
 	scans:
 		for _, k := range changedPreds {
 			rows := prev.rows[k]
-			for _, si := range p.scanSteps[k] {
+			for _, si := range ph.scanSteps[k] {
 				ev := newRunner(en.exe, db, si, rows, nil, en.opts.Trace, check, en.prof)
 				err = ev.run(p, emit)
 				firings += ev.fir()
@@ -261,8 +262,9 @@ func ruleTouched(p *plan, prev *deltaSet, changedPreds []ast.PredKey) bool {
 	if aggPredChanged(p, prev) {
 		return true
 	}
+	ph := p.ph()
 	for _, k := range changedPreds {
-		if len(p.scanSteps[k]) > 0 {
+		if len(ph.scanSteps[k]) > 0 {
 			return true
 		}
 	}
@@ -311,6 +313,11 @@ func materializeRels(db *relation.DB, ps []*plan) {
 // byte-identical (docs/ARCHITECTURE.md documents the argument).
 func (en *Engine) parSemiNaiveLoop(pc *parRun, g *guard, db *relation.DB, ci int, ps []*plan, stats *Stats, init *deltaSet, record func(ast.PredKey, relation.Row)) error {
 	materializeRels(db, ps)
+	// Cost-plan the component against the private view — its content is
+	// identical to the sequential engine's database at this point, so
+	// the planner's estimates, CSE buffers and re-plan decisions are
+	// identical too (the determinism contract; see plancost.go).
+	cp := en.planComponent(db, ps, init == nil)
 	delta := newDeltaSet()
 	// Phase B is single-goroutine, so insert and replay share one key
 	// scratch, exactly like the sequential loop's insert closure. (Phase
@@ -415,6 +422,7 @@ func (en *Engine) parSemiNaiveLoop(pc *parRun, g *guard, db *relation.DB, ci int
 		if err := pc.roundBoundary(g, db); err != nil {
 			return err
 		}
+		cp.maybeReplan()
 	} else {
 		delta = init
 	}
@@ -488,6 +496,7 @@ func (en *Engine) parSemiNaiveLoop(pc *parRun, g *guard, db *relation.DB, ci int
 		if err := pc.roundBoundary(g, db); err != nil {
 			return err
 		}
+		cp.maybeReplan()
 		if prev != init {
 			prev.reset()
 			spare = prev

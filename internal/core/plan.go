@@ -19,6 +19,7 @@ package core
 import (
 	"fmt"
 	"sort"
+	"sync/atomic"
 
 	"repro/internal/ast"
 	"repro/internal/exec"
@@ -57,6 +58,14 @@ type plan struct {
 	// head-projection scratch for insert paths that don't retain args.
 	stream *exec.Rule
 	hbuf   []val.T
+	// syn is the syntactic physical plan (identical to steps/scanSteps/
+	// stream above); cur is the physical currently installed — the
+	// cost-based planner (plancost.go) swaps alternatives in between
+	// semi-naive rounds. Evaluation-time consumers read cur via ph();
+	// compile-time structure (stats sizing, seeds, stratification) stays
+	// on the canonical fields.
+	syn *physical
+	cur atomic.Pointer[physical]
 }
 
 // step is one executable body element.
@@ -437,7 +446,9 @@ func (c *compiler) compileRule(r *ast.Rule) (*plan, error) {
 		return nil, fmt.Errorf("core: rule %q: head cost variable %s never bound", r, p.names[hs.costVar])
 	}
 	p.hbuf = make([]val.T, len(hs.argVar))
-	p.stream = compileStream(p)
+	p.stream = compileStream(p, p.steps, nil)
+	p.syn = newSynPhysical(p)
+	p.cur.Store(p.syn)
 	return p, nil
 }
 

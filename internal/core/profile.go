@@ -39,6 +39,12 @@ type OpStats struct {
 	// pass; Groups counts aggregate groups a γ operator emitted.
 	Delta  int64 `json:"delta,omitempty"`
 	Groups int64 `json:"groups,omitempty"`
+	// EstRows is the cost planner's rows-per-invocation estimate for
+	// this operator at its position in the chosen plan (PlanCost only;
+	// zero for operators the planner does not estimate). Prediction
+	// sits beside the measured counters so the cost model can be
+	// calibrated from one report (docs/PLANNER.md).
+	EstRows float64 `json:"est_rows,omitempty"`
 }
 
 // RuleProfile is one rule's operator pipeline.
@@ -49,10 +55,18 @@ type RuleProfile struct {
 	// Firings/Nanos/Rounds are filled by Annotate from Stats (zero
 	// until then — the operator counters and the stats ledger are
 	// separate books; see the "work performed" note on Profile).
-	Firings int64     `json:"firings,omitempty"`
-	Nanos   int64     `json:"nanos,omitempty"`
-	Rounds  int       `json:"rounds,omitempty"`
-	Ops     []OpStats `json:"ops"`
+	Firings int64 `json:"firings,omitempty"`
+	Nanos   int64 `json:"nanos,omitempty"`
+	Rounds  int   `json:"rounds,omitempty"`
+	// PlanOrder is the cost planner's physical execution order as
+	// canonical step positions (-1 = the shared CSE buffer step);
+	// PlanShared is how many leading canonical steps that buffer
+	// replaced. Both absent when the rule runs its syntactic order.
+	// Ops always lists operators in canonical (syntactic) order, so the
+	// counter schema is stable across plans.
+	PlanOrder  []int     `json:"plan_order,omitempty"`
+	PlanShared int       `json:"plan_shared,omitempty"`
+	Ops        []OpStats `json:"ops"`
 }
 
 // Profile is the operator-level evaluation profile of one engine.
@@ -66,8 +80,10 @@ type RuleProfile struct {
 // model require".
 type Profile struct {
 	// Executor names the executor the counters came from ("stream";
-	// "tuple" profiles carry structure but zero counters).
+	// "tuple" profiles carry structure but zero counters). Plan names
+	// the planner the engine resolves ("syntactic" or "cost").
 	Executor string        `json:"executor"`
+	Plan     string        `json:"plan"`
 	Rules    []RuleProfile `json:"rules"`
 }
 
@@ -77,7 +93,8 @@ type Profile struct {
 // counters are atomic, so a snapshot taken mid-solve is simply a
 // consistent-enough point in time.
 func (en *Engine) Profile() *Profile {
-	pr := &Profile{Executor: resolveExecutor(en.opts.Limits).String()}
+	pr := &Profile{Executor: resolveExecutor(en.opts.Limits).String(),
+		Plan: resolvePlan(en.opts.Limits).String()}
 	for ci, ps := range en.plans {
 		for _, p := range ps {
 			rp := RuleProfile{Index: p.idx, Component: ci, Rule: p.text, Ops: make([]OpStats, len(p.steps))}
@@ -92,6 +109,17 @@ func (en *Engine) Profile() *Profile {
 					rp.Ops[si].Build = c.Build
 					rp.Ops[si].Delta = c.Delta
 					rp.Ops[si].Groups = c.Groups
+				}
+			}
+			// The planner's decisions for the currently installed
+			// physical (atomic load: consistent mid-solve snapshots).
+			if ch := p.ph().choice; ch != nil {
+				rp.PlanOrder = ch.Order
+				rp.PlanShared = ch.Shared
+				for pi, c := range ch.Order {
+					if c >= 0 && pi < len(ch.Est) {
+						rp.Ops[c].EstRows = ch.Est[pi]
+					}
 				}
 			}
 			pr.Rules = append(pr.Rules, rp)
@@ -121,7 +149,7 @@ func (p *Profile) Sub(prev *Profile) *Profile {
 	for i := range prev.Rules {
 		byIdx[prev.Rules[i].Index] = &prev.Rules[i]
 	}
-	out := &Profile{Executor: p.Executor, Rules: make([]RuleProfile, len(p.Rules))}
+	out := &Profile{Executor: p.Executor, Plan: p.Plan, Rules: make([]RuleProfile, len(p.Rules))}
 	for i, rp := range p.Rules {
 		ops := make([]OpStats, len(rp.Ops))
 		copy(ops, rp.Ops)
@@ -162,11 +190,22 @@ func (p *Profile) Annotate(st Stats) {
 // Render prints the profile as a human-readable operator tree, one rule
 // per block, operators indented under it in pipeline order.
 func (p *Profile) Render(w io.Writer) {
-	fmt.Fprintf(w, "EXPLAIN ANALYZE (executor=%s)\n", p.Executor)
+	planNote := ""
+	if p.Plan != "" {
+		planNote = fmt.Sprintf(" plan=%s", p.Plan)
+	}
+	fmt.Fprintf(w, "EXPLAIN ANALYZE (executor=%s%s)\n", p.Executor, planNote)
 	for _, rp := range p.Rules {
 		fmt.Fprintf(w, "rule %d [component %d]: %s\n", rp.Index, rp.Component, rp.Rule)
 		if rp.Firings > 0 || rp.Nanos > 0 {
 			fmt.Fprintf(w, "  %d firings over %d rounds in %s\n", rp.Firings, rp.Rounds, formatProfNanos(rp.Nanos))
+		}
+		if rp.PlanOrder != nil {
+			line := fmt.Sprintf("  plan: cost order=%v", rp.PlanOrder)
+			if rp.PlanShared > 0 {
+				line += fmt.Sprintf(" shared=%d", rp.PlanShared)
+			}
+			fmt.Fprintln(w, line)
 		}
 		for i, op := range rp.Ops {
 			branch := "├─"
@@ -184,6 +223,9 @@ func (p *Profile) Render(w io.Writer) {
 			}
 			if op.Groups > 0 {
 				line += fmt.Sprintf(" groups=%d", op.Groups)
+			}
+			if op.EstRows > 0 {
+				line += fmt.Sprintf(" est=%.1f", op.EstRows)
 			}
 			fmt.Fprintln(w, line)
 		}

@@ -92,12 +92,18 @@ func buildDerivation(p *plan, e *env) *Derivation {
 			d.Supports = append(d.Supports, Support{Note: renderAgg(st, e, p)})
 		}
 	}
-	// Attach the contributing atoms of each aggregate group.
+	// Attach the contributing atoms of each aggregate group. The env's
+	// aggSupports are keyed by the position the aggregate executed at
+	// in the installed physical plan; the derivation itself renders in
+	// canonical order, so planned and syntactic traces are identical.
+	ph := p.ph()
 	for i, st := range p.steps {
 		if _, ok := st.(*aggStep); !ok {
 			continue
 		}
-		d.Supports = append(d.Supports, e.aggSupports[i]...)
+		if pi := ph.physOf[i]; pi >= 0 {
+			d.Supports = append(d.Supports, e.aggSupports[pi]...)
+		}
 	}
 	return d
 }

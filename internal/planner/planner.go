@@ -1,0 +1,161 @@
+// Package planner is the cost model behind the engine's cost-based rule
+// planner (Limits.Plan = PlanCost): it turns live relation statistics
+// into the selectivity estimates that drive join ordering, hash-table
+// presizing, common-subplan sharing and adaptive re-planning in
+// internal/core.
+//
+// The statistics are read directly from the relation store — Len() and
+// the per-mask index cardinality DistinctUnder(mask) — so estimating a
+// candidate scan also prewarms exactly the hash index the chosen order
+// will probe. Nothing is sampled and nothing is persisted: the planner
+// runs on the same structures evaluation uses, at the moment a
+// component's fixpoint is about to start (and again between rounds when
+// observed growth diverges from the estimates; see Diverged).
+//
+// The cost model, its formulas, and the determinism-and-equivalence
+// contract the planner operates under are documented in
+// docs/PLANNER.md; the per-operator counters of EXPLAIN ANALYZE
+// (internal/exec OpCounts, PR 9) are the model's offline calibration
+// input, and the estimates flow back out through the same profile as
+// est_rows, so prediction and observation sit side by side in one
+// report.
+package planner
+
+import (
+	"math/bits"
+
+	"repro/internal/ast"
+	"repro/internal/relation"
+)
+
+// Estimator computes scan-cardinality estimates against one database
+// snapshot. It is cheap to construct; build one per component planning
+// pass so estimates reflect the interpretation the fixpoint will
+// actually read.
+type Estimator struct {
+	db *relation.DB
+}
+
+// NewEstimator returns an estimator reading live statistics from db.
+func NewEstimator(db *relation.DB) *Estimator { return &Estimator{db: db} }
+
+// Estimator tuning constants. They are deliberately coarse: the planner
+// only needs the relative order of candidate scans, not accurate row
+// counts, and every formula degrades to the syntactic plan's behaviour
+// when statistics are absent (empty relations, cold recursion).
+const (
+	// GrowthFactor and MinGrowthRows define the re-planning trigger:
+	// a relation read by the component must have grown by at least
+	// GrowthFactor× and by at least MinGrowthRows rows since the plan
+	// was chosen (see Diverged).
+	GrowthFactor  = 4
+	MinGrowthRows = 16
+	// MaxGroupsHint caps the γ group-table presize so a wild estimate
+	// can never pre-allocate an absurd map.
+	MaxGroupsHint = 1 << 20
+	// MaxSharedRows caps the materialized size of a CSE buffer: a
+	// shared prefix whose estimated (or observed) output exceeds this
+	// is evaluated per-rule as usual rather than buffered.
+	MaxSharedRows = 1 << 16
+)
+
+// ScanEst estimates the number of rows one scan of pred yields per
+// invocation, given the bound-position mask at its position in a
+// candidate join order (constants count as bound). recursive marks
+// predicates derived by the component being planned, whose extensions
+// grow while the plan runs.
+//
+// The formulas (documented with their rationale in docs/PLANNER.md):
+//
+//	default-value predicate   → 1 (always a point lookup)
+//	mask == 0                 → Len (full extension stream)
+//	frozen, mask != 0         → Len / DistinctUnder(mask) (uniform
+//	                            bucket-size assumption over the live
+//	                            hash index)
+//	recursive                 → max(1, max(Len,1) >> popcount(mask))
+//
+// Recursive predicates use a synthetic halving discount instead of
+// DistinctUnder for two reasons: their current Len underestimates the
+// extension the scan will actually see (Δ rows drive most passes), and
+// probing DistinctUnder would force index maintenance onto a relation
+// that is still growing.
+func (e *Estimator) ScanEst(pred ast.PredKey, info *ast.PredInfo, mask uint64, recursive bool) float64 {
+	if info.HasDefault {
+		return 1
+	}
+	rel := e.db.Rel(pred)
+	n := rel.Len()
+	if recursive {
+		eff := max(n, 1)
+		return float64(max(1, eff>>uint(bits.OnesCount64(mask))))
+	}
+	if mask == 0 || n == 0 {
+		return float64(n)
+	}
+	d := rel.DistinctUnder(mask)
+	if d <= 0 {
+		return float64(n)
+	}
+	return float64(n) / float64(d)
+}
+
+// GroupsHint estimates the number of distinct γ groups an aggregate
+// over pred will produce when grouping on the positions in mask: the
+// distinct-projection count of the live index, capped by MaxGroupsHint.
+// Recursive predicates return 0 (no hint) — their group count is a
+// moving target and probing it would force index maintenance.
+func (e *Estimator) GroupsHint(pred ast.PredKey, mask uint64, recursive bool) int {
+	if recursive || mask == 0 {
+		return 0
+	}
+	n := e.db.Rel(pred).DistinctUnder(mask)
+	return min(n, MaxGroupsHint)
+}
+
+// Len reports the current extension size of pred, the statistic the
+// re-planning trigger snapshots at plan time.
+func (e *Estimator) Len(pred ast.PredKey) int { return e.db.Rel(pred).Len() }
+
+// Diverged reports whether a relation's growth since plan time
+// invalidates the estimates the plan was built on: it must have grown
+// by GrowthFactor× AND by at least MinGrowthRows rows. The conjunction
+// keeps tiny relations (whose relative growth is noisy) and huge
+// relations (whose absolute growth is routine) from triggering spurious
+// re-plans. The test reads only relation lengths at round boundaries —
+// deterministic inputs at deterministic points — so sequential and
+// parallel evaluation re-plan identically.
+func Diverged(before, now int) bool {
+	return now-before >= MinGrowthRows && now >= GrowthFactor*max(before, 1)
+}
+
+// Choice records the decisions the planner made for one rule, for
+// EXPLAIN/Profile rendering: the chosen physical order (as canonical
+// step positions), the per-position row estimates the order was chosen
+// by, and how many leading steps were folded into a shared CSE buffer.
+type Choice struct {
+	// Order maps each physical position to the canonical (syntactic)
+	// step position it executes, -1 for a CSE buffer step.
+	Order []int
+	// Est is the estimated rows-per-invocation of each physical
+	// position's operator at planning time (0 when not estimated:
+	// builtins, negations).
+	Est []float64
+	// Shared is the number of canonical steps folded into the leading
+	// shared-buffer step (0 = no CSE applied to this rule).
+	Shared int
+}
+
+// Identity reports whether the choice leaves the syntactic plan
+// untouched (same order, no sharing) — in that case the engine keeps
+// the syntactic physical plan and its warm machine pool.
+func (c *Choice) Identity() bool {
+	if c.Shared != 0 {
+		return false
+	}
+	for i, o := range c.Order {
+		if o != i {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,173 @@
+package planner
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/ast"
+	"repro/internal/relation"
+	"repro/internal/val"
+)
+
+func testDB(name string, arity int) (*relation.DB, ast.PredKey, *ast.PredInfo) {
+	k := ast.MakePredKey(name, arity)
+	pi := &ast.PredInfo{Key: k, Arity: arity}
+	return relation.NewDB(ast.Schemas{k: pi}), k, pi
+}
+
+func insert(db *relation.DB, k ast.PredKey, args ...string) {
+	raw := make([]val.T, len(args))
+	for i, a := range args {
+		raw[i] = val.Symbol(a)
+	}
+	db.Rel(k).InsertJoin(raw, val.T{})
+}
+
+// TestScanEstMonotoneUnderInsert is the estimator's core property: the
+// estimated rows of any fixed (pred, mask) scan never decreases as facts
+// are inserted — cardinalities only grow, so plans chosen on a prefix of
+// the data stay conservative.
+func TestScanEstMonotoneUnderInsert(t *testing.T) {
+	db, k, pi := testDB("e", 2)
+	est := NewEstimator(db)
+	masks := []uint64{0, 1, 2, 3}
+	prev := make([]float64, len(masks))
+	for i := 0; i < 64; i++ {
+		insert(db, k, fmt.Sprintf("a%d", i%8), fmt.Sprintf("b%d", i))
+		for j, m := range masks {
+			got := est.ScanEst(k, pi, m, false)
+			if got < prev[j] {
+				t.Fatalf("insert %d: ScanEst(mask=%d) shrank %v -> %v", i, m, prev[j], got)
+			}
+			prev[j] = got
+		}
+	}
+}
+
+// TestScanEstBucketFormula pins Len/DistinctUnder on a known shape:
+// 8 distinct first columns over 64 rows → 8 rows per bound-first probe.
+func TestScanEstBucketFormula(t *testing.T) {
+	db, k, pi := testDB("e", 2)
+	for i := 0; i < 64; i++ {
+		insert(db, k, fmt.Sprintf("a%d", i%8), fmt.Sprintf("b%d", i))
+	}
+	est := NewEstimator(db)
+	if got := est.ScanEst(k, pi, 0, false); got != 64 {
+		t.Fatalf("unbound ScanEst = %v, want 64 (full extension)", got)
+	}
+	if got := est.ScanEst(k, pi, 1, false); got != 8 {
+		t.Fatalf("bound-first ScanEst = %v, want 8 (64 rows / 8 buckets)", got)
+	}
+	if got := est.ScanEst(k, pi, 3, false); got != 1 {
+		t.Fatalf("fully-bound ScanEst = %v, want 1 (point lookup)", got)
+	}
+}
+
+// TestScanEstDefault: default-value predicates always answer point
+// lookups, regardless of stored size.
+func TestScanEstDefault(t *testing.T) {
+	db, k, pi := testDB("d", 1)
+	pi.HasDefault = true
+	if got := NewEstimator(db).ScanEst(k, pi, 0, false); got != 1 {
+		t.Fatalf("default-pred ScanEst = %v, want 1", got)
+	}
+}
+
+// TestScanEstRecursive: recursive predicates use the halving discount,
+// never DistinctUnder, and never estimate below 1.
+func TestScanEstRecursive(t *testing.T) {
+	db, k, pi := testDB("p", 2)
+	est := NewEstimator(db)
+	if got := est.ScanEst(k, pi, 3, true); got != 1 {
+		t.Fatalf("empty recursive ScanEst = %v, want 1 (floor)", got)
+	}
+	for i := 0; i < 16; i++ {
+		insert(db, k, fmt.Sprintf("a%d", i), "b")
+	}
+	if got := est.ScanEst(k, pi, 0, true); got != 16 {
+		t.Fatalf("unbound recursive ScanEst = %v, want 16", got)
+	}
+	if got := est.ScanEst(k, pi, 1, true); got != 8 {
+		t.Fatalf("one-bound recursive ScanEst = %v, want 8 (16>>1)", got)
+	}
+}
+
+// TestGroupsHintNeverShrinksCorrectness: the hint is a presize, so any
+// value is semantically safe, but it must be 0 for moving targets
+// (recursive preds), capped, and otherwise equal to the live distinct
+// count under the group mask.
+func TestGroupsHint(t *testing.T) {
+	db, k, _ := testDB("e", 2)
+	for i := 0; i < 64; i++ {
+		insert(db, k, fmt.Sprintf("a%d", i%8), fmt.Sprintf("b%d", i))
+	}
+	est := NewEstimator(db)
+	if got := est.GroupsHint(k, 1, false); got != 8 {
+		t.Fatalf("GroupsHint(mask=1) = %d, want 8", got)
+	}
+	if got := est.GroupsHint(k, 1, true); got != 0 {
+		t.Fatalf("recursive GroupsHint = %d, want 0", got)
+	}
+	if got := est.GroupsHint(k, 0, false); got != 0 {
+		t.Fatalf("maskless GroupsHint = %d, want 0", got)
+	}
+	if MaxGroupsHint < 1 {
+		t.Fatal("MaxGroupsHint must be positive")
+	}
+}
+
+// TestGroupsHintMonotoneUnderInsert: like ScanEst, the presize only
+// grows with the data, so a map presized at plan time is never an
+// over-commitment relative to an earlier snapshot.
+func TestGroupsHintMonotoneUnderInsert(t *testing.T) {
+	db, k, _ := testDB("e", 2)
+	est := NewEstimator(db)
+	prev := 0
+	for i := 0; i < 64; i++ {
+		insert(db, k, fmt.Sprintf("a%d", i%5), fmt.Sprintf("b%d", i))
+		got := est.GroupsHint(k, 1, false)
+		if got < prev {
+			t.Fatalf("insert %d: GroupsHint shrank %d -> %d", i, prev, got)
+		}
+		prev = got
+	}
+}
+
+// TestDiverged pins the re-planning trigger: both the relative and the
+// absolute threshold must be crossed.
+func TestDiverged(t *testing.T) {
+	cases := []struct {
+		before, now int
+		want        bool
+	}{
+		{0, 0, false},
+		{0, 15, false},      // absolute floor not met
+		{0, 16, true},       // 16 rows from nothing
+		{10, 25, false},     // +15 rows, under both
+		{10, 39, false},     // 3.9x, relative not met
+		{10, 40, true},      // exactly 4x and ≥16 rows
+		{1000, 1400, false}, // routine growth on a big relation
+		{1000, 4000, true},  // 4x on a big relation
+		{5, 20, false},      // 4x but only +15 rows
+		{4, 20, true},       // 5x and +16 rows
+	}
+	for _, c := range cases {
+		if got := Diverged(c.before, c.now); got != c.want {
+			t.Errorf("Diverged(%d, %d) = %v, want %v", c.before, c.now, got, c.want)
+		}
+	}
+}
+
+// TestChoiceIdentity: the identity predicate drives whether the engine
+// keeps the syntactic physical plan (and its warm machine pool).
+func TestChoiceIdentity(t *testing.T) {
+	if !(&Choice{Order: []int{0, 1, 2}}).Identity() {
+		t.Fatal("in-order, unshared choice must be identity")
+	}
+	if (&Choice{Order: []int{1, 0}}).Identity() {
+		t.Fatal("reordered choice must not be identity")
+	}
+	if (&Choice{Order: []int{-1, 2}, Shared: 2}).Identity() {
+		t.Fatal("shared choice must not be identity")
+	}
+}

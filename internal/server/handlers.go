@@ -779,4 +779,3 @@ func (s *Server) handleExplainPlan(w http.ResponseWriter, r *http.Request) {
 		"profile": prof,
 	})
 }
-

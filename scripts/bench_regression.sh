@@ -25,9 +25,22 @@
 #      opt-in because stored timings are not comparable across machines
 #      or days (see docs/OBSERVABILITY.md).
 #
+#   3. Planner gate: BenchmarkSolvePlan runs the same shortest-path
+#      fixpoint under the syntactic plan and the cost-based planner
+#      (see docs/PLANNER.md) and the cost-planned run must not be
+#      slower than the syntactic one by more than
+#      BENCH_REGRESSION_PLAN_TOL_PCT percent (default 25). On this
+#      program the planner falls back to the identity order, so the
+#      gate is really measuring planning overhead — interleaved runs
+#      show parity (±1%) — but even same-process A/B pairs drift up
+#      to ~20% on the shared development VM, so the default tolerance
+#      only catches order-of-magnitude mistakes (a mis-ordered Δ
+#      driver costs 5×, not 25%). Tighten it on a quiet box.
+#
 #   scripts/bench_regression.sh                      # default gates
 #   BENCH_REGRESSION_MAX_PCT=30 scripts/bench_regression.sh
 #   BENCH_REGRESSION_STREAM_NS_BASELINE=221000000 scripts/bench_regression.sh
+#   BENCH_REGRESSION_PLAN_TOL_PCT=10 scripts/bench_regression.sh
 #   BENCHTIME=5x scripts/bench_regression.sh
 #
 # Allocation counts (unlike wall-clock timings) are stable across
@@ -45,15 +58,16 @@ STREAM_ALLOCS=${BENCH_REGRESSION_STREAM_ALLOCS:-143032}
 ALLOC_TOL_PCT=${BENCH_REGRESSION_ALLOC_TOL_PCT:-0.5}
 NS_BASELINE=${BENCH_REGRESSION_STREAM_NS_BASELINE:-}
 NS_TOL_PCT=${BENCH_REGRESSION_NS_TOL_PCT:-3}
+PLAN_TOL_PCT=${BENCH_REGRESSION_PLAN_TOL_PCT:-25}
 RAW=$(mktemp)
 trap 'rm -f "$RAW"' EXIT INT TERM
 
-echo "bench_regression: running BenchmarkSolve (both executors, -benchtime $BENCHTIME)"
-( cd "$ROOT" && go test . -run '^$' -bench '^BenchmarkSolve$' -benchmem \
+echo "bench_regression: running BenchmarkSolve (both executors) and BenchmarkSolvePlan (both plans, -benchtime $BENCHTIME)"
+( cd "$ROOT" && go test . -run '^$' -bench '^BenchmarkSolve(Plan)?$' -benchmem \
     -benchtime "$BENCHTIME" ) | tee "$RAW"
 
 awk -v maxpct="$MAX_PCT" -v pinned="$STREAM_ALLOCS" -v alloctol="$ALLOC_TOL_PCT" \
-    -v nsbase="$NS_BASELINE" -v nstol="$NS_TOL_PCT" '
+    -v nsbase="$NS_BASELINE" -v nstol="$NS_TOL_PCT" -v plantol="$PLAN_TOL_PCT" '
 /^BenchmarkSolve\/tuple/ && /allocs\/op/ {
     for (i = 2; i < NF; i++) if ($(i+1) == "allocs/op") tuple = $i
 }
@@ -62,6 +76,12 @@ awk -v maxpct="$MAX_PCT" -v pinned="$STREAM_ALLOCS" -v alloctol="$ALLOC_TOL_PCT"
         if ($(i+1) == "allocs/op") stream = $i
         if ($(i+1) == "ns/op") streamns = $i
     }
+}
+/^BenchmarkSolvePlan\/syntactic/ && /ns\/op/ {
+    for (i = 2; i < NF; i++) if ($(i+1) == "ns/op") synns = $i
+}
+/^BenchmarkSolvePlan\/cost/ && /ns\/op/ {
+    for (i = 2; i < NF; i++) if ($(i+1) == "ns/op") costns = $i
 }
 END {
     if (tuple == "" || stream == "") {
@@ -87,6 +107,16 @@ END {
             print "bench_regression: FAIL: disabled-tracing wall-clock regressed past the gate" > "/dev/stderr"
             exit 1
         }
+    }
+    if (synns == "" || costns == "") {
+        print "bench_regression: FAIL: missing BenchmarkSolvePlan/syntactic or BenchmarkSolvePlan/cost results" > "/dev/stderr"
+        exit 1
+    }
+    plandev = 100 * (costns - synns) / synns
+    printf "bench_regression: cost plan %.0f ns/op vs syntactic %.0f ns/op = %+.1f%% (gate: <= +%s%%)\n", costns, synns, plandev, plantol
+    if (plandev > plantol + 0) {
+        print "bench_regression: FAIL: cost-based plan is slower than the syntactic plan past the gate" > "/dev/stderr"
+        exit 1
     }
     print "bench_regression: PASS"
 }
